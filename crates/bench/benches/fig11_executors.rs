@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 11: one preplay batch per engine on the
+//! read-write balanced SmallBank workload (θ = 0.85, Pr = 0.5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tb_bench::{run_executor_cell, Engine};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_executors");
+    group.sample_size(10);
+    for engine in Engine::ALL {
+        for executors in [1usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(engine.label(), executors),
+                &executors,
+                |b, &executors| {
+                    b.iter(|| {
+                        run_executor_cell(engine, executors, 300, 0.85, 0.5, 1_000, 300, 0)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for Figure 12: the skew sweep at its two extremes
+//! (θ = 0.75 vs θ = 0.9) for the concurrent executor and OCC.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tb_bench::{run_executor_cell, Engine};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_contention");
+    group.sample_size(10);
+    for engine in [Engine::Thunderbolt, Engine::Occ] {
+        for theta in [0.75f64, 0.9] {
+            group.bench_with_input(
+                BenchmarkId::new(engine.label(), format!("theta{theta}")),
+                &theta,
+                |b, &theta| {
+                    b.iter(|| run_executor_cell(engine, 8, 300, theta, 0.5, 1_000, 300, 0))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Figure 13: a small LAN cluster per system variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tb_bench::{Scale, SystemRun};
+use thunderbolt::ExecutionMode;
+
+fn small_scale() -> Scale {
+    let mut scale = Scale::quick();
+    scale.system_rounds = 6;
+    scale.system_batch = 50;
+    scale.system_executors = 2;
+    scale.system_accounts = 200;
+    scale.op_cost_ns = 0;
+    scale
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_scalability");
+    group.sample_size(10);
+    for mode in [
+        ExecutionMode::Thunderbolt,
+        ExecutionMode::ThunderboltOcc,
+        ExecutionMode::Tusk,
+    ] {
+        group.bench_with_input(BenchmarkId::new(mode.label(), 4), &mode, |b, &mode| {
+            b.iter(|| SystemRun::new(mode, 4, small_scale()).run())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

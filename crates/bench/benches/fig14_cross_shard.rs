@@ -1,0 +1,37 @@
+//! Criterion bench for Figure 14: single-shard-only vs all-cross-shard load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tb_bench::{Scale, SystemRun};
+use thunderbolt::ExecutionMode;
+
+fn small_scale() -> Scale {
+    let mut scale = Scale::quick();
+    scale.system_rounds = 6;
+    scale.system_batch = 50;
+    scale.system_executors = 2;
+    scale.system_accounts = 200;
+    scale.op_cost_ns = 0;
+    scale
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_cross_shard");
+    group.sample_size(10);
+    for cross in [0.0f64, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::new("Thunderbolt", format!("P{:.0}%", cross * 100.0)),
+            &cross,
+            |b, &cross| {
+                b.iter(|| {
+                    let mut run = SystemRun::new(ExecutionMode::Thunderbolt, 4, small_scale());
+                    run.cross_shard = cross;
+                    run.run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

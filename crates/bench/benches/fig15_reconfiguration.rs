@@ -1,0 +1,38 @@
+//! Criterion bench for Figure 15: frequent vs rare reconfiguration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tb_bench::{Scale, SystemRun};
+use tb_types::ReconfigConfig;
+use thunderbolt::ExecutionMode;
+
+fn small_scale() -> Scale {
+    let mut scale = Scale::quick();
+    scale.system_rounds = 12;
+    scale.system_batch = 50;
+    scale.system_executors = 2;
+    scale.system_accounts = 200;
+    scale.op_cost_ns = 0;
+    scale
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_reconfiguration");
+    group.sample_size(10);
+    for k_prime in [4u64, 1_000] {
+        group.bench_with_input(
+            BenchmarkId::new("Thunderbolt", format!("Kprime{k_prime}")),
+            &k_prime,
+            |b, &k_prime| {
+                b.iter(|| {
+                    let mut run = SystemRun::new(ExecutionMode::Thunderbolt, 4, small_scale());
+                    run.reconfig = ReconfigConfig::new(k_prime - 1, k_prime);
+                    run.run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

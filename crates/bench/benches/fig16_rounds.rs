@@ -1,0 +1,29 @@
+//! Criterion bench for Figure 16: a run with periodic reconfiguration,
+//! measuring that per-round commit progress is sustained.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tb_bench::{Scale, SystemRun};
+use tb_types::ReconfigConfig;
+use thunderbolt::ExecutionMode;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_rounds");
+    group.sample_size(10);
+    group.bench_function("Thunderbolt_Kprime6_20rounds", |b| {
+        b.iter(|| {
+            let mut scale = Scale::quick();
+            scale.system_rounds = 20;
+            scale.system_batch = 50;
+            scale.system_executors = 2;
+            scale.system_accounts = 200;
+            scale.op_cost_ns = 0;
+            let mut run = SystemRun::new(ExecutionMode::Thunderbolt, 4, scale);
+            run.reconfig = ReconfigConfig::new(5, 6);
+            run.run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for Figure 17: healthy cluster vs f crashed replicas.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tb_bench::{Scale, SystemRun};
+use thunderbolt::ExecutionMode;
+
+fn small_scale() -> Scale {
+    let mut scale = Scale::quick();
+    scale.system_rounds = 8;
+    scale.system_batch = 50;
+    scale.system_executors = 2;
+    scale.system_accounts = 200;
+    scale.op_cost_ns = 0;
+    scale
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_failures");
+    group.sample_size(10);
+    for crashed in [0u32, 1] {
+        group.bench_with_input(
+            BenchmarkId::new("Thunderbolt", format!("crashed{crashed}")),
+            &crashed,
+            |b, &crashed| {
+                b.iter(|| {
+                    let mut run = SystemRun::new(ExecutionMode::Thunderbolt, 4, small_scale());
+                    run.crashed = crashed;
+                    run.cross_shard = 0.2;
+                    run.run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Runs every figure of the evaluation in sequence.
+//!
+//! `cargo run --release -p tb-bench --bin all_figures`
+//! (set `TB_BENCH_FULL=1` for paper-scale parameters).
+
+fn main() {
+    let scale = tb_bench::Scale::from_env();
+    println!("Thunderbolt reproduction — full evaluation sweep (scale: {scale:?})\n");
+    let _ = tb_bench::figures::run_fig11(scale);
+    let _ = tb_bench::figures::run_fig12(scale);
+    let _ = tb_bench::figures::run_fig13(scale);
+    let _ = tb_bench::figures::run_fig14(scale);
+    let _ = tb_bench::figures::run_fig15(scale);
+    let _ = tb_bench::figures::run_fig16(scale);
+    let _ = tb_bench::figures::run_fig17(scale);
+    println!("\nDone. See EXPERIMENTS.md for the paper-vs-measured comparison.");
+}

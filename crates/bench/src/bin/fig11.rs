@@ -1,0 +1,15 @@
+//! Regenerates Figure 11: CE vs OCC vs 2PL-No-Wait while sweeping the number
+//! of executors (read-write balanced and update-only workloads).
+//!
+//! `cargo run --release -p tb-bench --bin fig11` (set `TB_BENCH_FULL=1` for
+//! paper-scale parameters).
+
+fn main() {
+    let scale = tb_bench::Scale::from_env();
+    println!("Thunderbolt reproduction — Figure 11 (scale: {scale:?})");
+    let rows = tb_bench::figures::run_fig11(scale);
+    println!("\nPaper shape: Thunderbolt and OCC keep scaling past 8 executors while");
+    println!("2PL-No-Wait degrades; Thunderbolt has the lowest re-execution count");
+    println!("(~50% of OCC, ~10% of 2PL-No-Wait).");
+    println!("\nJSON: {}", tb_bench::to_json(&rows));
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 12: throughput/latency while sweeping the Zipfian skew
+//! θ (a, b) and the read fraction Pr (c, d).
+//!
+//! `cargo run --release -p tb-bench --bin fig12`
+
+fn main() {
+    let scale = tb_bench::Scale::from_env();
+    println!("Thunderbolt reproduction — Figure 12 (scale: {scale:?})");
+    let rows = tb_bench::figures::run_fig12(scale);
+    println!("\nPaper shape: at θ = 0.75 Thunderbolt and OCC are comparable; as θ grows");
+    println!("to 0.9 OCC drops sharply while Thunderbolt stays ahead. With Pr = 1 all");
+    println!("engines are similar; more writes favour Thunderbolt over OCC and 2PL.");
+    println!("\nJSON: {}", tb_bench::to_json(&rows));
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 14: throughput/latency as the cross-shard transaction
+//! ratio grows (16 replicas).
+//!
+//! `cargo run --release -p tb-bench --bin fig14`
+
+fn main() {
+    let scale = tb_bench::Scale::from_env();
+    println!("Thunderbolt reproduction — Figure 14 (scale: {scale:?})");
+    let _ = tb_bench::figures::run_fig14(scale);
+    println!("\nPaper shape: both Thunderbolt variants decline as P grows; Thunderbolt");
+    println!("stays well above Thunderbolt-OCC at moderate P (64K vs 16K tps at P=8%)");
+    println!("and still beats Tusk when every transaction is cross-shard.");
+}

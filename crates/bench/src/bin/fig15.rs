@@ -1,0 +1,12 @@
+//! Regenerates Figure 15: throughput/latency for different reconfiguration
+//! periods K' (8 replicas).
+//!
+//! `cargo run --release -p tb-bench --bin fig15`
+
+fn main() {
+    let scale = tb_bench::Scale::from_env();
+    println!("Thunderbolt reproduction — Figure 15 (scale: {scale:?})");
+    let _ = tb_bench::figures::run_fig15(scale);
+    println!("\nPaper shape: very small K' (frequent DAG transitions) costs throughput;");
+    println!("from K' >= 1000 the system is stable and latency improves slightly.");
+}

@@ -1,0 +1,143 @@
+//! Dispatch of [`ContractCall`]s onto a [`StateAccess`].
+//!
+//! Every execution path in the system — preplay in the concurrent executor,
+//! the OCC / 2PL / serial baselines, post-consensus validation and
+//! deterministic cross-shard execution — funnels through [`execute_call`], so
+//! a transaction always runs exactly the same contract logic regardless of
+//! which concurrency control hosts it.
+
+use crate::interpreter::Program;
+use crate::smallbank::execute_smallbank;
+use crate::state::{CallResult, ExecError, StateAccess};
+use tb_types::{ContractCall, Operation, Value};
+
+/// Executes a raw operation list (the [`ContractCall::KvOps`] payload).
+pub fn execute_ops<S: StateAccess + ?Sized>(
+    ops: &[Operation],
+    state: &mut S,
+) -> Result<CallResult, ExecError> {
+    let mut last_read = Value::None;
+    for op in ops {
+        match op {
+            Operation::Read { key } => {
+                last_read = state.read(*key)?;
+            }
+            Operation::Write { key, value } => {
+                state.write(*key, value.clone())?;
+            }
+        }
+    }
+    Ok(CallResult::ok(last_read))
+}
+
+/// Executes a contract call against `state`.
+///
+/// Returns [`ExecError::Aborted`] only when the underlying concurrency
+/// control aborted the transaction (the caller must retry); malformed
+/// programs surface as a successful call with `logically_aborted = true`,
+/// because consensus must still assign them a deterministic outcome.
+pub fn execute_call<S: StateAccess + ?Sized>(
+    call: &ContractCall,
+    state: &mut S,
+) -> Result<CallResult, ExecError> {
+    match call {
+        ContractCall::SmallBank(proc_) => execute_smallbank(proc_, state),
+        ContractCall::KvOps(ops) => execute_ops(ops, state),
+        ContractCall::Noop => Ok(CallResult::ok(Value::None)),
+        ContractCall::Program { code, args, .. } => {
+            let program = Program::from_bytes(code.clone());
+            match program.run(args, state) {
+                Ok(result) => Ok(result),
+                // Concurrency-control aborts must propagate so the executor
+                // retries; anything else (bad bytecode, out of gas) becomes a
+                // deterministic rejection.
+                Err(err) if err.is_abort() => Err(err),
+                Err(_) => Ok(CallResult::rejected()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpreter::ProgramBuilder;
+    use crate::state::MapState;
+    use tb_types::{Key, SmallBankProcedure};
+
+    #[test]
+    fn noop_returns_none() {
+        let mut state = MapState::new();
+        let r = execute_call(&ContractCall::Noop, &mut state).unwrap();
+        assert_eq!(r.return_value, Value::None);
+        assert!(!r.logically_aborted);
+    }
+
+    #[test]
+    fn kv_ops_apply_in_order_and_return_last_read() {
+        let mut state = MapState::new();
+        let call = ContractCall::KvOps(vec![
+            Operation::write(Key::scratch(1), Value::int(5)),
+            Operation::read(Key::scratch(1)),
+            Operation::write(Key::scratch(2), Value::int(6)),
+        ]);
+        let r = execute_call(&call, &mut state).unwrap();
+        assert_eq!(r.return_value, Value::int(5));
+        assert_eq!(state.peek(&Key::scratch(2)), Value::int(6));
+    }
+
+    #[test]
+    fn smallbank_calls_dispatch() {
+        let mut state = MapState::with_entries([
+            (Key::checking(1), Value::int(10)),
+            (Key::savings(1), Value::int(5)),
+        ]);
+        let call = ContractCall::SmallBank(SmallBankProcedure::GetBalance { account: 1 });
+        let r = execute_call(&call, &mut state).unwrap();
+        assert_eq!(r.return_value, Value::int(15));
+    }
+
+    #[test]
+    fn program_calls_dispatch_through_the_interpreter() {
+        let mut state = MapState::with_entries([(Key::contract(3), Value::int(7))]);
+        let call = ContractCall::Program {
+            code: ProgramBuilder::counter_add().into_bytes(),
+            args: vec![3, 10],
+            declared_keys: vec![Key::contract(3)],
+        };
+        execute_call(&call, &mut state).unwrap();
+        assert_eq!(state.peek(&Key::contract(3)), Value::int(17));
+    }
+
+    #[test]
+    fn malformed_programs_become_deterministic_rejections() {
+        let mut state = MapState::new();
+        let call = ContractCall::Program {
+            code: vec![0xFF; 9],
+            args: vec![],
+            declared_keys: vec![],
+        };
+        let r = execute_call(&call, &mut state).unwrap();
+        assert!(r.logically_aborted);
+    }
+
+    #[test]
+    fn cc_aborts_propagate_out_of_programs() {
+        struct AlwaysAbort;
+        impl StateAccess for AlwaysAbort {
+            fn read(&mut self, _key: Key) -> Result<Value, ExecError> {
+                Err(ExecError::aborted("conflict"))
+            }
+            fn write(&mut self, _key: Key, _value: Value) -> Result<(), ExecError> {
+                Err(ExecError::aborted("conflict"))
+            }
+        }
+        let call = ContractCall::Program {
+            code: ProgramBuilder::counter_add().into_bytes(),
+            args: vec![1, 1],
+            declared_keys: vec![],
+        };
+        let err = execute_call(&call, &mut AlwaysAbort).unwrap_err();
+        assert!(err.is_abort());
+    }
+}

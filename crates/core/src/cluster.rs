@@ -1,0 +1,392 @@
+//! The multi-replica simulation harness.
+//!
+//! [`ClusterSimulation`] wires `n` [`Replica`]s to the discrete-event
+//! network, feeds them a SmallBank workload, injects faults from a
+//! [`FaultPlan`] and runs until a round budget is reached. It is the engine
+//! behind every system experiment (Figures 13–17), the integration tests and
+//! the examples. Three system variants can be simulated:
+//!
+//! * **Thunderbolt** — concurrent-executor preplay + parallel validation,
+//! * **Thunderbolt-OCC** — OCC preplay + parallel validation,
+//! * **Tusk** — no preplay, serial execution after consensus.
+
+use crate::messages::Message;
+use crate::metrics::RunReport;
+use crate::replica::{Destination, Replica};
+use std::time::Duration;
+use tb_network::{FaultPlan, NetEvent, SimNetwork};
+use tb_types::{ReplicaId, SimTime, SystemConfig};
+use tb_workload::{SmallBankConfig, SmallBankWorkload};
+
+/// Which execution engine the replicas use (the three systems compared in
+/// the paper's system evaluation, Section 12).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// The full system: concurrent-executor preplay plus parallel validation.
+    Thunderbolt,
+    /// Preplay with optimistic concurrency control instead of the CE.
+    ThunderboltOcc,
+    /// The baseline: order first, execute serially after consensus.
+    Tusk,
+}
+
+impl ExecutionMode {
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecutionMode::Thunderbolt => "Thunderbolt",
+            ExecutionMode::ThunderboltOcc => "Thunderbolt-OCC",
+            ExecutionMode::Tusk => "Tusk",
+        }
+    }
+}
+
+/// Configuration of one simulated cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Protocol and executor parameters.
+    pub system: SystemConfig,
+    /// Which execution engine to run.
+    pub mode: ExecutionMode,
+    /// Prefer skip blocks (preplay recovery, Section 5.4) over converting
+    /// single-shard transactions when rules P3/P4 trigger.
+    pub use_skip_blocks: bool,
+    /// Seed for network jitter and workload generation.
+    pub seed: u64,
+    /// Optional label overriding the mode label in reports.
+    pub label: Option<String>,
+}
+
+impl ClusterConfig {
+    /// A Thunderbolt cluster of `n` replicas with default parameters.
+    pub fn thunderbolt(n: u32) -> Self {
+        ClusterConfig {
+            system: SystemConfig::with_replicas(n),
+            mode: ExecutionMode::Thunderbolt,
+            use_skip_blocks: false,
+            seed: 42,
+            label: None,
+        }
+    }
+
+    /// A Thunderbolt-OCC cluster of `n` replicas.
+    pub fn thunderbolt_occ(n: u32) -> Self {
+        ClusterConfig {
+            mode: ExecutionMode::ThunderboltOcc,
+            ..ClusterConfig::thunderbolt(n)
+        }
+    }
+
+    /// A Tusk (serial execution) cluster of `n` replicas.
+    pub fn tusk(n: u32) -> Self {
+        ClusterConfig {
+            mode: ExecutionMode::Tusk,
+            ..ClusterConfig::thunderbolt(n)
+        }
+    }
+
+    /// The label used in reports.
+    pub fn label(&self) -> String {
+        self.label
+            .clone()
+            .unwrap_or_else(|| self.mode.label().to_string())
+    }
+}
+
+/// The simulation driver.
+pub struct ClusterSimulation {
+    config: ClusterConfig,
+    replicas: Vec<Replica>,
+    network: SimNetwork<Message>,
+    workload: SmallBankWorkload,
+    faults: FaultPlan,
+    busy_until: Vec<SimTime>,
+    events_processed: u64,
+}
+
+/// Hard cap on processed events, protecting against configuration mistakes.
+const EVENT_BUDGET: u64 = 50_000_000;
+
+impl ClusterSimulation {
+    /// Builds a cluster: `n` replicas with freshly loaded SmallBank state, a
+    /// simulated network with the configured latency model and a fault plan.
+    pub fn new(config: ClusterConfig, mut workload_config: SmallBankConfig, faults: FaultPlan) -> Self {
+        let n = config.system.n_replicas;
+        workload_config.n_shards = n;
+        workload_config.seed = workload_config.seed.wrapping_add(config.seed);
+        let workload = SmallBankWorkload::new(workload_config);
+        let mut replicas = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let mut replica = Replica::new(ReplicaId::new(i), config.clone());
+            replica.load_state(workload.initial_state());
+            replicas.push(replica);
+        }
+        let network = SimNetwork::new(n, config.system.latency, config.seed);
+        ClusterSimulation {
+            busy_until: vec![SimTime::ZERO; n as usize],
+            config,
+            replicas,
+            network,
+            workload,
+            faults,
+            events_processed: 0,
+        }
+    }
+
+    /// Convenience constructor with no faults.
+    pub fn with_defaults(config: ClusterConfig, workload: SmallBankConfig) -> Self {
+        Self::new(config, workload, FaultPlan::none())
+    }
+
+    /// Access to a replica (used by tests to inspect state).
+    pub fn replica(&self, id: ReplicaId) -> &Replica {
+        &self.replicas[id.as_inner() as usize]
+    }
+
+    /// The simulated network statistics.
+    pub fn network_stats(&self) -> tb_network::NetworkStats {
+        self.network.stats()
+    }
+
+    /// Runs the simulation until the observer replica has committed
+    /// `max_rounds / 2` leader rounds (or the network goes idle / the event
+    /// budget is exhausted) and returns the run report. Counting *committed*
+    /// leader rounds rather than proposed rounds makes runs with different
+    /// execution engines and reconfiguration periods commit a comparable
+    /// amount of work, which is what the throughput figures compare.
+    pub fn run(&mut self) -> RunReport {
+        let max_rounds = self.config.system.max_rounds;
+        let target_commits = (max_rounds / 2).max(1) as usize;
+        self.faults.apply_due(SimTime::ZERO, &mut self.network);
+
+        // Prime the client queues and start every replica.
+        for i in 0..self.replicas.len() {
+            self.feed(i, SimTime::ZERO);
+        }
+        for i in 0..self.replicas.len() {
+            let id = ReplicaId::new(i as u32);
+            if self.network.is_crashed(id) {
+                continue;
+            }
+            let outbound = self.replicas[i].start(SimTime::ZERO);
+            let busy = self.replicas[i].take_busy();
+            self.busy_until[i] = SimTime::ZERO + duration_to_sim(busy);
+            let extra = self.busy_until[i];
+            self.dispatch_outbound(id, outbound, extra);
+        }
+
+        while let Some((at, event)) = self.network.next_event() {
+            self.events_processed += 1;
+            if self.events_processed > EVENT_BUDGET {
+                break;
+            }
+            self.faults.apply_due(at, &mut self.network);
+            match event {
+                NetEvent::Message { from, to, msg } => {
+                    self.deliver(from, to, msg, at);
+                }
+                NetEvent::Timer { .. } => {}
+            }
+            let observer = self.observer();
+            if observer.metrics().round_commits.len() >= target_commits
+                || observer.current_round().as_u64() >= max_rounds * 4
+            {
+                break;
+            }
+        }
+
+        // Duration is measured up to the observer's last commit *including*
+        // the execution time it had to spend to get there (its busy-inflated
+        // clock), so serial post-consensus execution (Tusk) pays for its
+        // execution cost in the throughput figures even though consensus
+        // itself keeps progressing underneath.
+        let observer = self.observer();
+        let duration = observer
+            .metrics()
+            .round_commits
+            .last()
+            .map(|sample| sample.committed_at)
+            .unwrap_or_else(|| self.network.now());
+        observer.report(&self.config.label(), duration)
+    }
+
+    fn observer(&self) -> &Replica {
+        // The first non-crashed replica; honest replicas commit identical
+        // sequences so any of them is representative.
+        for replica in &self.replicas {
+            if !self.network.is_crashed(replica.id()) {
+                return replica;
+            }
+        }
+        &self.replicas[0]
+    }
+
+    fn deliver(&mut self, from: ReplicaId, to: ReplicaId, msg: Message, at: SimTime) {
+        let idx = to.as_inner() as usize;
+        let effective_now = at.max(self.busy_until[idx]);
+        let outbound = self.replicas[idx].handle(from, msg, effective_now);
+        let busy = self.replicas[idx].take_busy();
+        self.busy_until[idx] = effective_now + duration_to_sim(busy);
+        let extra = self.busy_until[idx].saturating_since(self.network.now());
+        self.dispatch_outbound(to, outbound, extra);
+        // Keep the proposer's client queue topped up, modelling clients that
+        // submit continuously.
+        if self.replicas[idx].pending_client_txs() < self.config.system.ce.batch_size {
+            self.feed(idx, effective_now);
+        }
+    }
+
+    fn dispatch_outbound(
+        &mut self,
+        from: ReplicaId,
+        outbound: Vec<crate::replica::Outbound>,
+        extra: SimTime,
+    ) {
+        for out in outbound {
+            match out.dest {
+                Destination::Broadcast => {
+                    self.network.broadcast_delayed(from, out.msg, extra);
+                }
+                Destination::To(to) => {
+                    self.network.send_delayed(from, to, out.msg, extra);
+                }
+            }
+        }
+    }
+
+    /// Generates client transactions until the given replica's queues hold at
+    /// least two batches. Generated transactions are routed to whichever
+    /// replica currently serves their home shard.
+    fn feed(&mut self, target_idx: usize, now: SimTime) {
+        let batch = self.config.system.ce.batch_size;
+        let target_goal = batch * 2;
+        let mut generated = 0usize;
+        let cap = batch * 8;
+        while self.replicas[target_idx].pending_client_txs() < target_goal && generated < cap {
+            let tx = self.workload.next_transaction(now);
+            generated += 1;
+            let home = tx.home_shard();
+            if let Some(idx) = self
+                .replicas
+                .iter()
+                .position(|r| r.current_shard() == home)
+            {
+                self.replicas[idx].enqueue(tx);
+            }
+        }
+    }
+}
+
+fn duration_to_sim(duration: Duration) -> SimTime {
+    SimTime::from_micros(duration.as_micros() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_types::{CeConfig, LatencyModel};
+
+    fn small_config(mode: ExecutionMode, n: u32, rounds: u64) -> ClusterConfig {
+        let mut config = ClusterConfig::thunderbolt(n);
+        config.mode = mode;
+        config.system.ce = CeConfig::new(2, 32).without_synthetic_cost();
+        config.system.validators = 2;
+        config.system.max_rounds = rounds;
+        config.system.latency = LatencyModel::Fixed { micros: 100 };
+        config
+    }
+
+    fn workload(n: u32, cross: f64) -> SmallBankConfig {
+        SmallBankConfig {
+            accounts: 64,
+            n_shards: n,
+            cross_shard_fraction: cross,
+            ..SmallBankConfig::default()
+        }
+    }
+
+    #[test]
+    fn thunderbolt_cluster_commits_transactions() {
+        let mut sim = ClusterSimulation::with_defaults(
+            small_config(ExecutionMode::Thunderbolt, 4, 10),
+            workload(4, 0.0),
+        );
+        let report = sim.run();
+        assert!(report.committed_txs > 0, "nothing committed: {report:?}");
+        assert!(report.throughput_tps() > 0.0);
+        assert_eq!(report.replicas, 4);
+        assert_eq!(report.label, "Thunderbolt");
+        assert!(report.duration > SimTime::ZERO);
+    }
+
+    #[test]
+    fn all_replicas_agree_on_the_commit_sequence() {
+        // The run stops at an arbitrary event, so replicas may have processed
+        // different *amounts* of the committed sequence — but the sequences
+        // themselves (DAG id, leader round) must be prefixes of one another.
+        let mut sim = ClusterSimulation::with_defaults(
+            small_config(ExecutionMode::Thunderbolt, 4, 8),
+            workload(4, 0.2),
+        );
+        let _ = sim.run();
+        let sequences: Vec<Vec<(u64, u64)>> = (0..4)
+            .map(|i| {
+                sim.replica(ReplicaId::new(i))
+                    .metrics()
+                    .round_commits
+                    .iter()
+                    .map(|s| (s.dag, s.round.as_u64()))
+                    .collect()
+            })
+            .collect();
+        let longest = sequences
+            .iter()
+            .max_by_key(|s| s.len())
+            .expect("four replicas")
+            .clone();
+        for (i, sequence) in sequences.iter().enumerate() {
+            assert!(
+                longest.starts_with(sequence),
+                "replica {i} committed a different sequence: {sequence:?} vs {longest:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tusk_commits_fewer_transactions_than_thunderbolt_per_round_budget() {
+        let rounds = 10;
+        let mut thunderbolt = ClusterSimulation::with_defaults(
+            small_config(ExecutionMode::Thunderbolt, 4, rounds),
+            workload(4, 0.0),
+        );
+        let mut tusk = ClusterSimulation::with_defaults(
+            small_config(ExecutionMode::Tusk, 4, rounds),
+            workload(4, 0.0),
+        );
+        let tb = thunderbolt.run();
+        let tk = tusk.run();
+        assert!(tb.committed_txs > 0 && tk.committed_txs > 0);
+        assert_eq!(tk.single_shard_txs, 0);
+        assert!(tb.single_shard_txs > 0);
+    }
+
+    #[test]
+    fn crashed_replicas_do_not_stop_the_cluster() {
+        let config = small_config(ExecutionMode::Thunderbolt, 4, 10);
+        let faults = FaultPlan::crash_replicas(4, 1, SimTime::ZERO);
+        let mut sim = ClusterSimulation::new(config, workload(4, 0.0), faults);
+        let report = sim.run();
+        assert!(report.committed_txs > 0, "f=1 crash must not halt commits");
+    }
+
+    #[test]
+    fn occ_mode_runs_and_reports_its_label() {
+        let mut sim = ClusterSimulation::with_defaults(
+            small_config(ExecutionMode::ThunderboltOcc, 4, 8),
+            workload(4, 0.0),
+        );
+        let report = sim.run();
+        assert_eq!(report.label, "Thunderbolt-OCC");
+        assert!(report.committed_txs > 0);
+    }
+}

@@ -1,0 +1,460 @@
+//! The post-consensus commit pipeline.
+//!
+//! When the committer delivers a leader's causal history, every replica runs
+//! the same pipeline (Figure 3, steps 3–4, and the G1/G2 ordering rules of
+//! Section 5.1):
+//!
+//! 1. **Single-shard first (G1).** The preplayed single-shard payloads of the
+//!    delivered blocks are validated in parallel against the read/write sets
+//!    they declare; valid payloads are applied to storage in their serialized
+//!    order. Invalid blocks are discarded (their transactions are simply not
+//!    applied — a Byzantine proposer can only hurt its own shard).
+//! 2. **Cross-shard second (G2).** The cross-shard transactions of the same
+//!    delivered sub-DAG are executed deterministically in `(round, author,
+//!    position)` order. Execution is parallelised QueCC-style: transactions
+//!    whose declared shard sets are disjoint run concurrently, conflicting
+//!    ones run in waves.
+
+use std::collections::HashSet;
+use std::time::Instant;
+use tb_contracts::{execute_call, StateAccess, TrackingState};
+use tb_dag::CommittedSubDag;
+use tb_executor::validation::{validate_block, ValidationConfig};
+use tb_storage::{KvRead, KvWrite, MemStore};
+use tb_types::{BlockKind, PreplayedTx, ShardId, SimTime, Transaction, TxId, Value};
+
+/// How the pipeline executes transactions after consensus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PostCommitExecution {
+    /// Thunderbolt: validate preplayed single-shard results in parallel,
+    /// execute cross-shard transactions with shard-level parallelism.
+    Parallel {
+        /// Number of validator / executor workers.
+        workers: usize,
+    },
+    /// Tusk baseline: execute everything serially in commit order.
+    Serial,
+}
+
+/// Statistics and effects of committing one batch of sub-DAGs.
+#[derive(Clone, Debug, Default)]
+pub struct CommitOutput {
+    /// Transactions whose effects were applied, with their commit time.
+    pub committed: Vec<(TxId, SimTime)>,
+    /// Summed latency (commit time − submission time) over the committed
+    /// transactions, in seconds of simulated time.
+    pub total_latency_secs: f64,
+    /// Number of committed cross-shard transactions.
+    pub cross_shard_committed: usize,
+    /// Number of committed single-shard (preplayed) transactions.
+    pub single_shard_committed: usize,
+    /// Number of preplayed blocks that failed validation and were discarded.
+    pub invalid_blocks: usize,
+    /// Number of Shift blocks delivered (input to the reconfiguration rule).
+    pub shift_blocks: usize,
+    /// Authors of the delivered Shift blocks.
+    pub shift_authors: Vec<tb_types::ReplicaId>,
+    /// Wall-clock time spent validating and executing, which the cluster
+    /// driver charges to the replica's simulated clock.
+    pub busy: std::time::Duration,
+}
+
+impl CommitOutput {
+    /// Number of transactions committed in total.
+    pub fn committed_count(&self) -> usize {
+        self.committed.len()
+    }
+}
+
+/// The commit pipeline of one replica.
+#[derive(Clone, Debug)]
+pub struct CommitPipeline {
+    execution: PostCommitExecution,
+    validation: ValidationConfig,
+    op_cost_ns: u64,
+}
+
+impl CommitPipeline {
+    /// Creates a pipeline with no synthetic per-operation cost.
+    pub fn new(execution: PostCommitExecution) -> Self {
+        Self::with_op_cost(execution, 0)
+    }
+
+    /// Creates a pipeline that charges `op_cost_ns` of synthetic work per
+    /// state operation during validation and post-consensus execution,
+    /// matching the cost model used during preplay.
+    pub fn with_op_cost(execution: PostCommitExecution, op_cost_ns: u64) -> Self {
+        let mut validation = match execution {
+            PostCommitExecution::Parallel { workers } => ValidationConfig::new(workers),
+            PostCommitExecution::Serial => ValidationConfig::new(1),
+        };
+        validation.op_cost_ns = op_cost_ns;
+        CommitPipeline {
+            execution,
+            validation,
+            op_cost_ns,
+        }
+    }
+
+    /// The configured execution mode.
+    pub fn execution(&self) -> PostCommitExecution {
+        self.execution
+    }
+
+    /// Processes one delivered sub-DAG against `store`, applying effects and
+    /// returning the commit statistics.
+    pub fn process(
+        &self,
+        sub_dag: &CommittedSubDag,
+        store: &MemStore,
+        commit_time: SimTime,
+    ) -> CommitOutput {
+        let started = Instant::now();
+        let mut output = CommitOutput::default();
+
+        // Gather payloads in delivery order.
+        let mut preplayed_blocks: Vec<&[PreplayedTx]> = Vec::new();
+        let mut cross_shard: Vec<&Transaction> = Vec::new();
+        for vertex in &sub_dag.vertices {
+            match vertex.block.kind {
+                BlockKind::Shift => {
+                    output.shift_blocks += 1;
+                    output.shift_authors.push(vertex.author());
+                    continue;
+                }
+                BlockKind::Skip | BlockKind::Normal => {}
+            }
+            if !vertex.block.payload.single_shard.is_empty() {
+                preplayed_blocks.push(&vertex.block.payload.single_shard);
+            }
+            cross_shard.extend(vertex.block.payload.cross_shard.iter());
+        }
+
+        // G1: single-shard (preplayed) transactions first.
+        for block in preplayed_blocks {
+            let report = validate_block(block, store, &self.validation);
+            if !report.is_valid() {
+                output.invalid_blocks += 1;
+                continue;
+            }
+            let mut ordered: Vec<&PreplayedTx> = block.iter().collect();
+            ordered.sort_by_key(|p| p.order);
+            for p in &ordered {
+                for record in &p.outcome.write_set {
+                    store.put(record.key, record.value.clone());
+                }
+                output.committed.push((p.tx.id, commit_time));
+                output.total_latency_secs +=
+                    commit_time.saturating_since(p.tx.submitted_at).as_secs_f64();
+            }
+            output.single_shard_committed += ordered.len();
+        }
+
+        // G2: cross-shard transactions afterwards, in a deterministic order.
+        match self.execution {
+            PostCommitExecution::Serial => {
+                for tx in &cross_shard {
+                    Self::execute_one(tx, store, self.op_cost_ns);
+                    output.committed.push((tx.id, commit_time));
+                    output.total_latency_secs +=
+                        commit_time.saturating_since(tx.submitted_at).as_secs_f64();
+                }
+            }
+            PostCommitExecution::Parallel { workers } => {
+                for wave in shard_disjoint_waves(&cross_shard) {
+                    execute_wave(&wave, store, workers, self.op_cost_ns);
+                    for tx in wave {
+                        output.committed.push((tx.id, commit_time));
+                        output.total_latency_secs +=
+                            commit_time.saturating_since(tx.submitted_at).as_secs_f64();
+                    }
+                }
+            }
+        }
+        output.cross_shard_committed += cross_shard.len();
+        output.busy = started.elapsed();
+        output
+    }
+
+    /// Executes a single transaction directly against the store (the OE
+    /// path: order first, execute after).
+    fn execute_one(tx: &Transaction, store: &MemStore, op_cost_ns: u64) {
+        let mut session = StoreSession { store, op_cost_ns };
+        let mut tracking = TrackingState::new(&mut session);
+        let _ = execute_call(&tx.call, &mut tracking);
+    }
+}
+
+/// Groups cross-shard transactions into waves whose declared shard sets are
+/// pairwise disjoint. Transactions within one wave can execute concurrently
+/// without conflicting, because keys never cross shards; waves execute in
+/// order, preserving the deterministic total order.
+fn shard_disjoint_waves<'a>(txs: &[&'a Transaction]) -> Vec<Vec<&'a Transaction>> {
+    let mut waves: Vec<(HashSet<ShardId>, Vec<&Transaction>)> = Vec::new();
+    for tx in txs {
+        let shards: HashSet<ShardId> = tx.shards.iter().copied().collect();
+        // A transaction can only join the *last* wave (otherwise it would
+        // overtake a conflicting transaction in an earlier wave), and only if
+        // it does not conflict with anything in it.
+        let fits_last = waves
+            .last()
+            .map(|(used, _)| used.is_disjoint(&shards))
+            .unwrap_or(false);
+        if fits_last {
+            let (used, wave) = waves.last_mut().expect("checked non-empty");
+            used.extend(shards);
+            wave.push(tx);
+        } else {
+            waves.push((shards, vec![tx]));
+        }
+    }
+    waves.into_iter().map(|(_, wave)| wave).collect()
+}
+
+/// Executes one wave of shard-disjoint transactions with up to `workers`
+/// threads.
+fn execute_wave(wave: &[&Transaction], store: &MemStore, workers: usize, op_cost_ns: u64) {
+    if wave.len() <= 1 || workers <= 1 {
+        for tx in wave {
+            CommitPipeline::execute_one(tx, store, op_cost_ns);
+        }
+        return;
+    }
+    let chunk = wave.len().div_ceil(workers.max(1));
+    std::thread::scope(|scope| {
+        for slice in wave.chunks(chunk) {
+            scope.spawn(move || {
+                for tx in slice {
+                    CommitPipeline::execute_one(tx, store, op_cost_ns);
+                }
+            });
+        }
+    });
+}
+
+/// Direct store access used for cross-shard (OE) execution.
+struct StoreSession<'a> {
+    store: &'a MemStore,
+    op_cost_ns: u64,
+}
+
+impl StateAccess for StoreSession<'_> {
+    fn read(&mut self, key: tb_types::Key) -> Result<Value, tb_contracts::ExecError> {
+        tb_executor::traits::synthetic_work(self.op_cost_ns);
+        Ok(self.store.get(&key))
+    }
+
+    fn write(&mut self, key: tb_types::Key, value: Value) -> Result<(), tb_contracts::ExecError> {
+        tb_executor::traits::synthetic_work(self.op_cost_ns);
+        self.store.put(key, value);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_contracts::SMALLBANK_DEFAULT_BALANCE;
+    use tb_dag::DagBuilder;
+    use tb_executor::ConcurrentExecutor;
+    use tb_types::{
+        BlockPayload, CeConfig, ClientId, Committee, ContractCall, DagId, Key, ReplicaId, Round,
+        SmallBankProcedure,
+    };
+
+    fn funded_store(accounts: u64) -> MemStore {
+        let store = MemStore::new();
+        store.load(tb_workload::initial_smallbank_state(
+            accounts,
+            SMALLBANK_DEFAULT_BALANCE,
+        ));
+        store
+    }
+
+    fn payment(id: u64, from: u64, to: u64, amount: i64, n_shards: u32) -> Transaction {
+        Transaction::new(
+            tb_types::TxId::new(id),
+            ClientId::new(0),
+            ContractCall::SmallBank(SmallBankProcedure::SendPayment { from, to, amount }),
+            n_shards,
+            SimTime::ZERO,
+        )
+    }
+
+    fn sub_dag_with(
+        committee: Committee,
+        preplayed: Vec<PreplayedTx>,
+        cross_shard: Vec<Transaction>,
+        shift_authors: &[u32],
+    ) -> CommittedSubDag {
+        let mut builder = DagBuilder::new(committee, DagId::new(0), Round::ZERO);
+        let mut vertices = Vec::new();
+        // Round 0: one block with the preplayed payload, one with the
+        // cross-shard payload, plus any shift blocks, authored by distinct
+        // replicas.
+        let mut author = 0u32;
+        let mut push = |kind: BlockKind, payload: BlockPayload, builder: &mut DagBuilder| {
+            let v = builder.make_vertex(
+                ReplicaId::new(author),
+                Round::ZERO,
+                kind,
+                payload,
+                vec![],
+            );
+            author += 1;
+            v
+        };
+        vertices.push(push(
+            BlockKind::Normal,
+            BlockPayload {
+                single_shard: preplayed,
+                cross_shard: vec![],
+            },
+            &mut builder,
+        ));
+        vertices.push(push(
+            BlockKind::Normal,
+            BlockPayload {
+                single_shard: vec![],
+                cross_shard,
+            },
+            &mut builder,
+        ));
+        for _ in shift_authors {
+            vertices.push(push(BlockKind::Shift, BlockPayload::empty(), &mut builder));
+        }
+        let leader = vertices.last().expect("at least one vertex").clone();
+        CommittedSubDag {
+            leader,
+            leader_round: Round::new(1),
+            vertices,
+        }
+    }
+
+    #[test]
+    fn valid_preplay_is_applied_in_serialized_order() {
+        let committee = Committee::new(4);
+        let store = funded_store(8);
+        let txs = vec![payment(1, 0, 4, 10, 1), payment(2, 4, 0, 3, 1)];
+        let ce = ConcurrentExecutor::new(CeConfig::new(2, 16).without_synthetic_cost());
+        let preplay = ce.preplay(&txs, &store);
+        let sub_dag = sub_dag_with(committee, preplay.preplayed.clone(), vec![], &[]);
+        let pipeline = CommitPipeline::new(PostCommitExecution::Parallel { workers: 4 });
+        let output = pipeline.process(&sub_dag, &store, SimTime::from_secs(2));
+        assert_eq!(output.single_shard_committed, 2);
+        assert_eq!(output.invalid_blocks, 0);
+        assert_eq!(output.committed_count(), 2);
+        assert!(output.total_latency_secs > 0.0);
+        assert_eq!(
+            store.get(&Key::checking(0)),
+            Value::int(SMALLBANK_DEFAULT_BALANCE - 10 + 3)
+        );
+        assert_eq!(
+            store.get(&Key::checking(4)),
+            Value::int(SMALLBANK_DEFAULT_BALANCE + 10 - 3)
+        );
+    }
+
+    #[test]
+    fn tampered_preplay_blocks_are_discarded_entirely() {
+        let committee = Committee::new(4);
+        let store = funded_store(4);
+        let txs = vec![payment(1, 0, 1, 10, 1)];
+        let ce = ConcurrentExecutor::new(CeConfig::new(1, 16).without_synthetic_cost());
+        let mut preplay = ce.preplay(&txs, &store);
+        preplay.preplayed[0].outcome.write_set[0].value = Value::int(77_777);
+        let sub_dag = sub_dag_with(committee, preplay.preplayed.clone(), vec![], &[]);
+        let pipeline = CommitPipeline::new(PostCommitExecution::Parallel { workers: 2 });
+        let before = store.snapshot();
+        let output = pipeline.process(&sub_dag, &store, SimTime::from_secs(1));
+        assert_eq!(output.invalid_blocks, 1);
+        assert_eq!(output.committed_count(), 0);
+        assert!(store.snapshot().diff_values(&before).is_empty());
+    }
+
+    #[test]
+    fn cross_shard_transactions_execute_after_single_shard_ones() {
+        // The single-shard payload pays account 0 -> 4 (same shard of 4);
+        // the cross-shard transaction then moves the money on to account 1.
+        // If the order were reversed, account 1 would receive less.
+        let committee = Committee::new(4);
+        let store = funded_store(8);
+        // empty account 1's checking first so the effect is visible
+        store.put(Key::checking(1), Value::int(0));
+        store.put(Key::checking(0), Value::int(0));
+        let single = payment(1, 4, 0, 500, 1); // both map to shard 0 of 4
+        let ce = ConcurrentExecutor::new(CeConfig::new(1, 16).without_synthetic_cost());
+        let preplay = ce.preplay(std::slice::from_ref(&single), &store);
+        let cross = payment(2, 0, 1, 400, 4);
+        assert_eq!(cross.shards.len(), 2);
+        let sub_dag = sub_dag_with(committee, preplay.preplayed.clone(), vec![cross], &[]);
+        let pipeline = CommitPipeline::new(PostCommitExecution::Parallel { workers: 2 });
+        let output = pipeline.process(&sub_dag, &store, SimTime::from_secs(1));
+        assert_eq!(output.single_shard_committed, 1);
+        assert_eq!(output.cross_shard_committed, 1);
+        // Account 0 received 500 from the preplay, then sent 400 on.
+        assert_eq!(store.get(&Key::checking(0)), Value::int(100));
+        assert_eq!(store.get(&Key::checking(1)), Value::int(400));
+    }
+
+    #[test]
+    fn serial_mode_produces_the_same_state_as_parallel_mode() {
+        let committee = Committee::new(4);
+        let store_parallel = funded_store(16);
+        let store_serial = funded_store(16);
+        let cross: Vec<Transaction> = (0..20)
+            .map(|i| payment(i, i % 16, (i + 5) % 16, 7, 4))
+            .collect();
+        let sub_dag = sub_dag_with(committee, vec![], cross, &[]);
+        let parallel = CommitPipeline::new(PostCommitExecution::Parallel { workers: 4 });
+        let serial = CommitPipeline::new(PostCommitExecution::Serial);
+        parallel.process(&sub_dag, &store_parallel, SimTime::ZERO);
+        serial.process(&sub_dag, &store_serial, SimTime::ZERO);
+        let diff = store_parallel
+            .snapshot()
+            .diff_values(&store_serial.snapshot());
+        assert!(diff.is_empty(), "parallel and serial disagree on {diff:?}");
+    }
+
+    #[test]
+    fn shift_blocks_are_counted_not_executed() {
+        let committee = Committee::new(4);
+        let store = funded_store(4);
+        let sub_dag = sub_dag_with(committee, vec![], vec![], &[2, 3]);
+        let pipeline = CommitPipeline::new(PostCommitExecution::Parallel { workers: 2 });
+        let output = pipeline.process(&sub_dag, &store, SimTime::ZERO);
+        assert_eq!(output.shift_blocks, 2);
+        assert_eq!(output.shift_authors.len(), 2);
+        assert_eq!(output.committed_count(), 0);
+    }
+
+    #[test]
+    fn shard_disjoint_waves_never_split_conflicting_transactions() {
+        let a = payment(1, 0, 1, 1, 4); // shards {0,1}
+        let b = payment(2, 2, 3, 1, 4); // shards {2,3}
+        let c = payment(3, 1, 2, 1, 4); // shards {1,2} conflicts with both
+        let txs = [&a, &b, &c];
+        let waves = shard_disjoint_waves(&txs);
+        assert_eq!(waves.len(), 2);
+        assert_eq!(waves[0].len(), 2, "a and b are disjoint");
+        assert_eq!(waves[1].len(), 1);
+        assert_eq!(waves[1][0].id, c.id);
+    }
+
+    #[test]
+    fn wave_order_preserves_the_total_order_for_conflicting_transactions() {
+        // c conflicts with a; even though c and b would be disjoint, c must
+        // not jump into an earlier wave than a.
+        let a = payment(1, 0, 1, 1, 4); // {0,1}
+        let c = payment(2, 1, 2, 1, 4); // {1,2} conflicts with a
+        let b = payment(3, 3, 7, 1, 4); // {3}
+        let txs = [&a, &c, &b];
+        let waves = shard_disjoint_waves(&txs);
+        assert_eq!(waves.len(), 2);
+        assert_eq!(waves[0][0].id, a.id);
+        assert_eq!(waves[1][0].id, c.id);
+        // b joins the last open wave (with c), never an earlier one than its
+        // position allows.
+        assert_eq!(waves[1].len(), 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! Thunderbolt: concurrent smart contract execution with non-blocking
+//! reconfiguration for sharded DAGs (EDBT 2026) — reproduction.
+//!
+//! Every replica doubles as a *shard proposer*: it preplays the single-shard
+//! transactions of its shard with the concurrent executor (`tb-executor`),
+//! ships the preplay outcomes in a block through a Tusk-style DAG
+//! (`tb-dag`), and validates the preplay results of every other shard after
+//! consensus. Cross-shard transactions bypass the preplay (rule P1) and are
+//! executed deterministically in commit order. Shift blocks rotate the
+//! shard-to-replica assignment without pausing the DAG (Section 6).
+//!
+//! The crate is organised as:
+//!
+//! * [`messages`] — the wire protocol between replicas,
+//! * [`proposer`] — the shard proposer (client queues, rules P1–P6, Shift
+//!   decisions),
+//! * [`commit`] — the post-consensus pipeline (G1/G2 ordering, parallel
+//!   validation, deterministic cross-shard execution, storage apply),
+//! * [`replica`] — the per-replica state machine tying DAG construction,
+//!   commit and reconfiguration together,
+//! * [`cluster`] — the multi-replica simulation harness used by the
+//!   examples, the integration tests and every system benchmark
+//!   (Figures 13–17),
+//! * [`metrics`] — run reports (throughput, latency, per-round commit times).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod commit;
+pub mod messages;
+pub mod metrics;
+pub mod proposer;
+pub mod replica;
+
+pub use cluster::{ClusterConfig, ClusterSimulation, ExecutionMode};
+pub use commit::{CommitOutput, CommitPipeline};
+pub use messages::Message;
+pub use metrics::{RoundCommitSample, RunReport};
+pub use proposer::{ProposalDecision, ShardProposer};
+pub use replica::Replica;

@@ -1,0 +1,105 @@
+//! The wire protocol between replicas.
+//!
+//! Thunderbolt piggybacks everything on the DAG construction messages: block
+//! dissemination (`Header`), acknowledgements (`Ack`) and certified vertices
+//! (`Vertex`). There is no extra coordination protocol for cross-shard
+//! transactions — that is the point of the design.
+
+use tb_types::{Block, Digest, DagId, Header, ReplicaId, Round, Vertex};
+
+/// A protocol message exchanged between replicas.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// A proposer disseminates its block and header for the current round.
+    Header {
+        /// The header under certification.
+        header: Header,
+        /// The block the header commits to.
+        block: Block,
+    },
+    /// A replica acknowledges a header it considers valid (the simulated
+    /// equivalent of a signature share).
+    Ack {
+        /// Digest of the acknowledged header.
+        header_digest: Digest,
+        /// DAG instance of the header.
+        dag: DagId,
+        /// Round of the acknowledged header.
+        round: Round,
+        /// The acknowledging replica.
+        signer: ReplicaId,
+    },
+    /// A fully certified vertex (header + block + certificate), broadcast by
+    /// its author once a `2f + 1` quorum of acknowledgements arrived.
+    Vertex(Box<Vertex>),
+}
+
+impl Message {
+    /// Short label used in traces and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Header { .. } => "header",
+            Message::Ack { .. } => "ack",
+            Message::Vertex(_) => "vertex",
+        }
+    }
+
+    /// The round the message refers to.
+    pub fn round(&self) -> Round {
+        match self {
+            Message::Header { header, .. } => header.round,
+            Message::Ack { round, .. } => *round,
+            Message::Vertex(vertex) => vertex.round(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_types::{BlockPayload, Committee, Hashable, SeqNo, ShardId, SimTime};
+
+    #[test]
+    fn message_accessors() {
+        let block = Block::normal(
+            DagId::new(0),
+            Round::new(3),
+            ReplicaId::new(1),
+            ShardId::new(1),
+            SeqNo::new(0),
+            BlockPayload::empty(),
+            SimTime::ZERO,
+        );
+        let header = Header::new(
+            DagId::new(0),
+            Round::new(3),
+            ReplicaId::new(1),
+            block.digest(),
+            vec![],
+            SimTime::ZERO,
+        );
+        let ack = Message::Ack {
+            header_digest: header.digest(),
+            dag: DagId::new(0),
+            round: Round::new(3),
+            signer: ReplicaId::new(2),
+        };
+        let hdr = Message::Header {
+            header: header.clone(),
+            block: block.clone(),
+        };
+        assert_eq!(hdr.kind(), "header");
+        assert_eq!(hdr.round(), Round::new(3));
+        assert_eq!(ack.kind(), "ack");
+        assert_eq!(ack.round(), Round::new(3));
+
+        let committee = Committee::new(4);
+        let cert = tb_types::Certificate::for_header(
+            &header,
+            committee.replicas().take(3).collect(),
+        );
+        let vertex = Message::Vertex(Box::new(Vertex::new(header, block, cert)));
+        assert_eq!(vertex.kind(), "vertex");
+        assert_eq!(vertex.round(), Round::new(3));
+    }
+}

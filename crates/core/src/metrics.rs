@@ -1,0 +1,158 @@
+//! Run reports produced by the cluster simulation.
+
+use serde::{Deserialize, Serialize};
+use tb_types::{Round, SimTime};
+
+/// Commit-time sample for one leader round (Figure 16 plots the average of
+/// consecutive differences over windows of 100 rounds).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RoundCommitSample {
+    /// The DAG instance the round belongs to.
+    pub dag: u64,
+    /// The committed leader round.
+    pub round: Round,
+    /// Simulated time at which the round committed on the observer replica.
+    pub committed_at: SimTime,
+}
+
+/// Aggregated result of one simulation run, measured on the observer replica
+/// (replica 0 unless it is crashed). Honest replicas commit identical
+/// sequences, so any observer yields the same counts.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Human-readable label of the system variant (Thunderbolt,
+    /// Thunderbolt-OCC, Tusk).
+    pub label: String,
+    /// Number of replicas in the committee.
+    pub replicas: u32,
+    /// Total transactions committed (single-shard + cross-shard).
+    pub committed_txs: u64,
+    /// Committed single-shard (preplayed) transactions.
+    pub single_shard_txs: u64,
+    /// Committed cross-shard transactions.
+    pub cross_shard_txs: u64,
+    /// Preplayed blocks discarded by validation.
+    pub invalid_blocks: u64,
+    /// Total preplay re-executions reported by the concurrent executor /
+    /// OCC preplayer on the observer replica.
+    pub reexecutions: u64,
+    /// Number of DAG reconfigurations that completed during the run.
+    pub reconfigurations: u64,
+    /// Total simulated duration of the run.
+    pub duration: SimTime,
+    /// Sum of per-transaction latencies (commit − submission) in seconds.
+    pub total_latency_secs: f64,
+    /// Commit-time samples per leader round (for Figure 16).
+    pub round_commits: Vec<RoundCommitSample>,
+    /// Highest round reached on the observer replica.
+    pub highest_round: Round,
+}
+
+impl RunReport {
+    /// Throughput in transactions per second of simulated time.
+    pub fn throughput_tps(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.committed_txs as f64 / secs
+    }
+
+    /// Average end-to-end transaction latency in seconds.
+    pub fn avg_latency_secs(&self) -> f64 {
+        if self.committed_txs == 0 {
+            return 0.0;
+        }
+        self.total_latency_secs / self.committed_txs as f64
+    }
+
+    /// Average commit-to-commit runtime per leader round, over windows of
+    /// `window` rounds (Figure 16 uses 100). Returns `(window end index,
+    /// average seconds)` pairs.
+    pub fn per_round_runtime(&self, window: usize) -> Vec<(usize, f64)> {
+        if self.round_commits.len() < 2 || window == 0 {
+            return Vec::new();
+        }
+        let mut deltas = Vec::with_capacity(self.round_commits.len() - 1);
+        for pair in self.round_commits.windows(2) {
+            deltas.push(
+                pair[1]
+                    .committed_at
+                    .saturating_since(pair[0].committed_at)
+                    .as_secs_f64(),
+            );
+        }
+        deltas
+            .chunks(window)
+            .enumerate()
+            .map(|(i, chunk)| {
+                let avg = chunk.iter().sum::<f64>() / chunk.len() as f64;
+                ((i + 1) * window, avg)
+            })
+            .collect()
+    }
+
+    /// One-line summary used by the examples and the benchmark binaries.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} replicas, {} txs committed in {} ({:.0} tps, avg latency {:.3}s, {} reconfigs)",
+            self.label,
+            self.replicas,
+            self.committed_txs,
+            self.duration,
+            self.throughput_tps(),
+            self.avg_latency_secs(),
+            self.reconfigurations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            label: "Thunderbolt".to_string(),
+            replicas: 4,
+            committed_txs: 1_000,
+            duration: SimTime::from_secs(2),
+            total_latency_secs: 500.0,
+            round_commits: (0..5)
+                .map(|i| RoundCommitSample {
+                    dag: 0,
+                    round: Round::new(i * 2 + 1),
+                    committed_at: SimTime::from_millis(100 * (i + 1)),
+                })
+                .collect(),
+            ..RunReport::default()
+        }
+    }
+
+    #[test]
+    fn throughput_and_latency_are_derived_from_totals() {
+        let report = sample_report();
+        assert!((report.throughput_tps() - 500.0).abs() < 1e-9);
+        assert!((report.avg_latency_secs() - 0.5).abs() < 1e-9);
+        assert!(report.summary().contains("500 tps"));
+    }
+
+    #[test]
+    fn empty_report_does_not_divide_by_zero() {
+        let report = RunReport::default();
+        assert_eq!(report.throughput_tps(), 0.0);
+        assert_eq!(report.avg_latency_secs(), 0.0);
+        assert!(report.per_round_runtime(100).is_empty());
+    }
+
+    #[test]
+    fn per_round_runtime_averages_commit_gaps() {
+        let report = sample_report();
+        let windows = report.per_round_runtime(2);
+        // Four gaps of 100 ms each -> two windows of average 0.1 s.
+        assert_eq!(windows.len(), 2);
+        assert!((windows[0].1 - 0.1).abs() < 1e-9);
+        assert_eq!(windows[0].0, 2);
+        assert_eq!(windows[1].0, 4);
+    }
+}

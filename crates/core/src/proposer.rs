@@ -1,0 +1,321 @@
+//! The shard proposer: client queues and the proposal rules (Section 5.1).
+//!
+//! Every replica serves exactly one shard at a time and proposes one block
+//! per round for it. What goes into the block is decided by the proposal
+//! rules:
+//!
+//! * **P1** — cross-shard transactions are never preplayed; they ride in the
+//!   block as-is and are executed after consensus.
+//! * **P3/P4** — if the proposer has seen (in its local DAG) cross-shard
+//!   transactions touching its shard that are not yet committed, it must not
+//!   preplay: it either converts its pending single-shard transactions to
+//!   cross-shard ones, or proposes a *skip block* and retries the preplay
+//!   once the conflicting transactions are finalized (Section 5.4).
+//! * **P6** — if the expected leader proposal has not arrived, the proposer
+//!   converts instead of waiting.
+//! * **Shift** — when the reconfiguration conditions of Section 6 hold, the
+//!   proposer emits a Shift block instead of a payload block.
+//!
+//! The decision logic is a pure function ([`decide`]) so it can be tested
+//! exhaustively; the queue bookkeeping lives in [`ShardProposer`].
+
+use std::collections::VecDeque;
+use tb_types::{ShardId, Transaction, TxClass};
+
+/// Everything the decision function needs to know about the current round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProposalContext {
+    /// The previous leader-round vertex is present in the local DAG (P6 is
+    /// satisfied; if false the proposer must convert).
+    pub leader_vertex_present: bool,
+    /// Some cross-shard transaction touching this shard has been seen in the
+    /// DAG but is not yet committed (triggers P3/P4).
+    pub conflicting_cross_shard_pending: bool,
+    /// The reconfiguration conditions of Section 6 are met and this replica
+    /// has not yet emitted a Shift block in the current DAG.
+    pub should_shift: bool,
+    /// Whether the proposer prefers skip blocks (preplay recovery,
+    /// Section 5.4) over converting to cross-shard when P3/P4 trigger.
+    pub use_skip_blocks: bool,
+}
+
+impl ProposalContext {
+    /// A context in which nothing prevents preplaying.
+    pub fn clear() -> Self {
+        ProposalContext {
+            leader_vertex_present: true,
+            conflicting_cross_shard_pending: false,
+            should_shift: false,
+            use_skip_blocks: false,
+        }
+    }
+}
+
+/// What kind of block the proposer should build this round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProposalDecision {
+    /// Emit a Shift block (reconfiguration vote).
+    Shift,
+    /// Preplay the pending single-shard batch with the concurrent executor
+    /// and attach the pending cross-shard transactions (the normal EOV + OE
+    /// block).
+    Preplay,
+    /// Convert the pending single-shard transactions to cross-shard ones and
+    /// submit everything through the OE path (rules P3/P4/P6).
+    ConvertToCross,
+    /// Propose a skip block: keep the single-shard transactions queued for a
+    /// later preplay, only ship pending cross-shard transactions.
+    Skip,
+}
+
+/// Applies the proposal rules to the context.
+pub fn decide(ctx: ProposalContext) -> ProposalDecision {
+    if ctx.should_shift {
+        return ProposalDecision::Shift;
+    }
+    if !ctx.leader_vertex_present {
+        return ProposalDecision::ConvertToCross;
+    }
+    if ctx.conflicting_cross_shard_pending {
+        return if ctx.use_skip_blocks {
+            ProposalDecision::Skip
+        } else {
+            ProposalDecision::ConvertToCross
+        };
+    }
+    ProposalDecision::Preplay
+}
+
+/// Client-transaction queues of one shard proposer.
+#[derive(Clone, Debug)]
+pub struct ShardProposer {
+    shard: ShardId,
+    single_shard: VecDeque<Transaction>,
+    cross_shard: VecDeque<Transaction>,
+    batch_size: usize,
+    accepted: u64,
+    rejected_wrong_shard: u64,
+}
+
+impl ShardProposer {
+    /// Creates a proposer for `shard` batching up to `batch_size`
+    /// single-shard transactions per block.
+    pub fn new(shard: ShardId, batch_size: usize) -> Self {
+        ShardProposer {
+            shard,
+            single_shard: VecDeque::new(),
+            cross_shard: VecDeque::new(),
+            batch_size,
+            accepted: 0,
+            rejected_wrong_shard: 0,
+        }
+    }
+
+    /// The shard this proposer currently serves.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// Re-targets the proposer to a new shard after a reconfiguration.
+    /// Queued transactions for the old shard are dropped — their clients
+    /// resubmit them to the new proposer of that shard (Section 6,
+    /// "Uncommitted Transactions").
+    pub fn reassign(&mut self, shard: ShardId) {
+        if shard != self.shard {
+            self.shard = shard;
+            self.single_shard.clear();
+            self.cross_shard.clear();
+        }
+    }
+
+    /// Number of queued single-shard transactions.
+    pub fn pending_single(&self) -> usize {
+        self.single_shard.len()
+    }
+
+    /// Number of queued cross-shard transactions.
+    pub fn pending_cross(&self) -> usize {
+        self.cross_shard.len()
+    }
+
+    /// Total transactions accepted into the queues so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Transactions rejected because they were routed to the wrong shard.
+    pub fn rejected_wrong_shard(&self) -> u64 {
+        self.rejected_wrong_shard
+    }
+
+    /// Enqueues a client transaction. Transactions whose home shard is not
+    /// the proposer's shard are rejected (the client must resubmit to the
+    /// right proposer).
+    pub fn enqueue(&mut self, tx: Transaction) -> bool {
+        if tx.home_shard() != self.shard {
+            self.rejected_wrong_shard += 1;
+            return false;
+        }
+        self.accepted += 1;
+        match tx.class() {
+            TxClass::SingleShard => self.single_shard.push_back(tx),
+            TxClass::CrossShard => self.cross_shard.push_back(tx),
+        }
+        true
+    }
+
+    /// Enqueues many transactions, returning how many were accepted.
+    pub fn enqueue_all(&mut self, txs: impl IntoIterator<Item = Transaction>) -> usize {
+        txs.into_iter().filter(|tx| self.enqueue(tx.clone())).count()
+    }
+
+    /// Takes the next batch of single-shard transactions for preplay.
+    pub fn take_single_batch(&mut self) -> Vec<Transaction> {
+        let n = self.batch_size.min(self.single_shard.len());
+        self.single_shard.drain(..n).collect()
+    }
+
+    /// Takes the next batch of cross-shard transactions (P1: straight into
+    /// the block), bounded by `limit` so that a block never carries more than
+    /// one batch worth of transactions in total.
+    pub fn take_cross_batch(&mut self, limit: usize) -> Vec<Transaction> {
+        let n = limit.min(self.batch_size).min(self.cross_shard.len());
+        self.cross_shard.drain(..n).collect()
+    }
+
+    /// Puts single-shard transactions back at the front of the queue (used
+    /// when a block was invalidated and its transactions must be retried, or
+    /// when a skip block postponed them).
+    pub fn requeue_single(&mut self, txs: Vec<Transaction>) {
+        for tx in txs.into_iter().rev() {
+            self.single_shard.push_front(tx);
+        }
+    }
+
+    /// True if both queues are empty.
+    pub fn is_drained(&self) -> bool {
+        self.single_shard.is_empty() && self.cross_shard.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_types::{ClientId, ContractCall, SimTime, SmallBankProcedure, TxId};
+
+    fn tx(id: u64, from: u64, to: u64, n_shards: u32) -> Transaction {
+        Transaction::new(
+            TxId::new(id),
+            ClientId::new(0),
+            ContractCall::SmallBank(SmallBankProcedure::SendPayment { from, to, amount: 1 }),
+            n_shards,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn decision_table_matches_the_rules() {
+        // Shift dominates everything.
+        assert_eq!(
+            decide(ProposalContext {
+                should_shift: true,
+                leader_vertex_present: false,
+                conflicting_cross_shard_pending: true,
+                use_skip_blocks: true,
+            }),
+            ProposalDecision::Shift
+        );
+        // Missing leader proposal converts (P6).
+        assert_eq!(
+            decide(ProposalContext {
+                leader_vertex_present: false,
+                ..ProposalContext::clear()
+            }),
+            ProposalDecision::ConvertToCross
+        );
+        // Conflicting uncommitted cross-shard transactions convert (P3/P4) …
+        assert_eq!(
+            decide(ProposalContext {
+                conflicting_cross_shard_pending: true,
+                ..ProposalContext::clear()
+            }),
+            ProposalDecision::ConvertToCross
+        );
+        // … or skip when skip blocks are enabled (Section 5.4).
+        assert_eq!(
+            decide(ProposalContext {
+                conflicting_cross_shard_pending: true,
+                use_skip_blocks: true,
+                ..ProposalContext::clear()
+            }),
+            ProposalDecision::Skip
+        );
+        // Otherwise preplay.
+        assert_eq!(decide(ProposalContext::clear()), ProposalDecision::Preplay);
+    }
+
+    #[test]
+    fn enqueue_routes_by_class_and_home_shard() {
+        // 4 shards; proposer serves shard 0.
+        let mut proposer = ShardProposer::new(ShardId::new(0), 10);
+        // Single-shard for shard 0 (accounts 0 and 4 both map to shard 0).
+        assert!(proposer.enqueue(tx(1, 0, 4, 4)));
+        // Cross-shard with home shard 0 (accounts 0 and 1).
+        assert!(proposer.enqueue(tx(2, 0, 1, 4)));
+        // Wrong shard: home shard of accounts {1, 5} is shard 1.
+        assert!(!proposer.enqueue(tx(3, 1, 5, 4)));
+        assert_eq!(proposer.pending_single(), 1);
+        assert_eq!(proposer.pending_cross(), 1);
+        assert_eq!(proposer.accepted(), 2);
+        assert_eq!(proposer.rejected_wrong_shard(), 1);
+        assert!(!proposer.is_drained());
+    }
+
+    #[test]
+    fn batches_respect_the_batch_size_and_fifo_order() {
+        let mut proposer = ShardProposer::new(ShardId::new(0), 3);
+        for i in 0..5 {
+            proposer.enqueue(tx(i, 0, 4, 4));
+        }
+        let batch = proposer.take_single_batch();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].id, TxId::new(0));
+        assert_eq!(proposer.pending_single(), 2);
+        let rest = proposer.take_single_batch();
+        assert_eq!(rest.len(), 2);
+        assert!(proposer.take_single_batch().is_empty());
+    }
+
+    #[test]
+    fn requeue_preserves_original_order() {
+        let mut proposer = ShardProposer::new(ShardId::new(0), 10);
+        for i in 0..4 {
+            proposer.enqueue(tx(i, 0, 4, 4));
+        }
+        let batch = proposer.take_single_batch();
+        proposer.requeue_single(batch);
+        let again = proposer.take_single_batch();
+        let ids: Vec<u64> = again.iter().map(|t| t.id.as_inner()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reassign_clears_queues_only_on_change() {
+        let mut proposer = ShardProposer::new(ShardId::new(0), 10);
+        proposer.enqueue(tx(1, 0, 4, 4));
+        proposer.reassign(ShardId::new(0));
+        assert_eq!(proposer.pending_single(), 1, "same shard keeps the queue");
+        proposer.reassign(ShardId::new(2));
+        assert_eq!(proposer.shard(), ShardId::new(2));
+        assert!(proposer.is_drained());
+        // New shard accepts its own transactions now (accounts 2 and 6).
+        assert!(proposer.enqueue(tx(9, 2, 6, 4)));
+    }
+
+    #[test]
+    fn enqueue_all_counts_accepted_transactions() {
+        let mut proposer = ShardProposer::new(ShardId::new(1), 10);
+        let txs = vec![tx(1, 1, 5, 4), tx(2, 0, 4, 4), tx(3, 1, 2, 4)];
+        assert_eq!(proposer.enqueue_all(txs), 2);
+    }
+}

@@ -1,0 +1,953 @@
+//! The Thunderbolt replica: one node of the system.
+//!
+//! A replica plays three roles at once (Section 3.1): it is the *shard
+//! proposer* of its current shard (preplaying single-shard transactions and
+//! proposing one block per round), a *replica* participating in DAG
+//! construction (acknowledging headers, storing certified vertices), and a
+//! *committer* applying the committed sequence to its local storage.
+//!
+//! The replica is written as a deterministic state machine: it consumes
+//! protocol messages and produces outbound messages, so it can be driven
+//! either by the discrete-event simulator (`tb-network`) or directly by unit
+//! tests. All heavy work (preplay, validation, post-commit execution) is
+//! timed and surfaced through [`Replica::take_busy`], which the simulator
+//! charges to the replica's virtual clock.
+
+use crate::cluster::{ClusterConfig, ExecutionMode};
+use crate::commit::{CommitPipeline, PostCommitExecution};
+use crate::messages::Message;
+use crate::metrics::{RoundCommitSample, RunReport};
+use crate::proposer::{decide, ProposalContext, ProposalDecision, ShardProposer};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
+use tb_dag::{Committer, DagError, DagStore};
+use tb_executor::{BatchExecutor, ConcurrentExecutor, OccExecutor};
+use tb_storage::{KvRead, MemStore, Versioned};
+use tb_types::{
+    Block, BlockKind, BlockPayload, Certificate, Committee, DagId, Digest, Hashable, Header, Key,
+    PreplayedTx, ReplicaId, Round, SeqNo, ShardAssignment, ShardId, SimTime, Transaction, Value,
+    Vertex,
+};
+
+/// Where an outbound message should go.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Destination {
+    /// Send to every replica (including the sender itself).
+    Broadcast,
+    /// Send to a single replica.
+    To(ReplicaId),
+}
+
+/// An outbound protocol message produced by a replica handler.
+#[derive(Clone, Debug)]
+pub struct Outbound {
+    /// Where the message goes.
+    pub dest: Destination,
+    /// The message itself.
+    pub msg: Message,
+}
+
+impl Outbound {
+    fn broadcast(msg: Message) -> Self {
+        Outbound {
+            dest: Destination::Broadcast,
+            msg,
+        }
+    }
+
+    fn to(dest: ReplicaId, msg: Message) -> Self {
+        Outbound {
+            dest: Destination::To(dest),
+            msg,
+        }
+    }
+}
+
+/// A header the replica proposed and is collecting acknowledgements for.
+#[derive(Clone, Debug)]
+struct PendingHeader {
+    header: Header,
+    block: Block,
+    acks: HashSet<ReplicaId>,
+    vertex_sent: bool,
+}
+
+/// Counters accumulated by one replica over a run.
+#[derive(Clone, Debug, Default)]
+pub struct ReplicaMetrics {
+    /// Committed transactions (single-shard + cross-shard).
+    pub committed_txs: u64,
+    /// Committed single-shard (preplayed) transactions.
+    pub single_shard_txs: u64,
+    /// Committed cross-shard transactions.
+    pub cross_shard_txs: u64,
+    /// Preplayed blocks discarded by validation.
+    pub invalid_blocks: u64,
+    /// Preplay re-executions on this replica's own proposals.
+    pub reexecutions: u64,
+    /// Completed DAG reconfigurations.
+    pub reconfigurations: u64,
+    /// Summed commit latencies in seconds.
+    pub total_latency_secs: f64,
+    /// Per-leader-round commit times.
+    pub round_commits: Vec<RoundCommitSample>,
+}
+
+/// One Thunderbolt replica.
+pub struct Replica {
+    id: ReplicaId,
+    committee: Committee,
+    mode: ExecutionMode,
+    config: ClusterConfig,
+    ce: ConcurrentExecutor,
+    occ: OccExecutor,
+    pipeline: CommitPipeline,
+    store: MemStore,
+    proposer: ShardProposer,
+
+    dag_id: DagId,
+    assignment: ShardAssignment,
+    dag: DagStore,
+    committer: Committer,
+    current_round: Round,
+    proposed_current: bool,
+    seq: u64,
+    my_header: Option<PendingHeader>,
+    pending_vertices: Vec<Vertex>,
+    future_messages: Vec<(ReplicaId, Message)>,
+
+    /// Write sets of this replica's own preplayed-but-uncommitted blocks,
+    /// newest last. Preplay reads see them on top of committed storage so
+    /// that consecutive blocks from the same shard chain correctly.
+    overlay: VecDeque<(Round, HashMap<Key, Value>)>,
+
+    shifted_in_dag: bool,
+    rounds_proposed_in_dag: u64,
+    shift_quorum_authors: HashSet<ReplicaId>,
+
+    metrics: ReplicaMetrics,
+    busy: Duration,
+}
+
+impl Replica {
+    /// Creates a replica with the initial shard assignment of DAG 0 and an
+    /// empty store pre-loaded by the caller.
+    pub fn new(id: ReplicaId, config: ClusterConfig) -> Self {
+        let committee = Committee::new(config.system.n_replicas);
+        let dag_id = DagId::new(0);
+        let assignment = ShardAssignment::new(committee, dag_id);
+        let shard = assignment.shard_of(id);
+        let op_cost = config.system.ce.synthetic_op_cost_ns;
+        let pipeline = match config.mode {
+            ExecutionMode::Tusk => {
+                CommitPipeline::with_op_cost(PostCommitExecution::Serial, op_cost)
+            }
+            _ => CommitPipeline::with_op_cost(
+                PostCommitExecution::Parallel {
+                    workers: config.system.validators,
+                },
+                op_cost,
+            ),
+        };
+        Replica {
+            id,
+            committee,
+            mode: config.mode,
+            ce: ConcurrentExecutor::new(config.system.ce),
+            occ: OccExecutor::new(config.system.ce),
+            pipeline,
+            store: MemStore::new(),
+            proposer: ShardProposer::new(shard, config.system.ce.batch_size),
+            dag_id,
+            assignment,
+            dag: DagStore::new(committee, dag_id, Round::ZERO),
+            committer: Committer::new(committee, dag_id, Round::ZERO),
+            current_round: Round::ZERO,
+            proposed_current: false,
+            seq: 0,
+            my_header: None,
+            pending_vertices: Vec::new(),
+            future_messages: Vec::new(),
+            overlay: VecDeque::new(),
+            shifted_in_dag: false,
+            rounds_proposed_in_dag: 0,
+            shift_quorum_authors: HashSet::new(),
+            metrics: ReplicaMetrics::default(),
+            config,
+            busy: Duration::ZERO,
+        }
+    }
+
+    /// The replica id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// The shard the replica currently serves as proposer.
+    pub fn current_shard(&self) -> ShardId {
+        self.proposer.shard()
+    }
+
+    /// The current DAG instance.
+    pub fn current_dag(&self) -> DagId {
+        self.dag_id
+    }
+
+    /// The round the replica is currently proposing for.
+    pub fn current_round(&self) -> Round {
+        self.current_round
+    }
+
+    /// The replica's local storage.
+    pub fn store(&self) -> &MemStore {
+        &self.store
+    }
+
+    /// Loads initial state into the replica's store (used before a run).
+    pub fn load_state(&mut self, entries: impl IntoIterator<Item = (Key, Value)>) {
+        self.store.load(entries);
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &ReplicaMetrics {
+        &self.metrics
+    }
+
+    /// Number of client transactions waiting in the proposer queues.
+    pub fn pending_client_txs(&self) -> usize {
+        self.proposer.pending_single() + self.proposer.pending_cross()
+    }
+
+    /// Enqueues a client transaction if this replica currently serves the
+    /// transaction's home shard.
+    pub fn enqueue(&mut self, tx: Transaction) -> bool {
+        self.proposer.enqueue(tx)
+    }
+
+    /// Returns (and resets) the wall-clock execution time accumulated by the
+    /// last handler invocation; the simulator charges it to this replica's
+    /// virtual clock.
+    pub fn take_busy(&mut self) -> Duration {
+        std::mem::take(&mut self.busy)
+    }
+
+    /// Builds the run report from this replica's point of view.
+    pub fn report(&self, label: &str, duration: SimTime) -> RunReport {
+        RunReport {
+            label: label.to_string(),
+            replicas: self.committee.size(),
+            committed_txs: self.metrics.committed_txs,
+            single_shard_txs: self.metrics.single_shard_txs,
+            cross_shard_txs: self.metrics.cross_shard_txs,
+            invalid_blocks: self.metrics.invalid_blocks,
+            reexecutions: self.metrics.reexecutions,
+            reconfigurations: self.metrics.reconfigurations,
+            duration,
+            total_latency_secs: self.metrics.total_latency_secs,
+            round_commits: self.metrics.round_commits.clone(),
+            highest_round: self.dag.highest_round(),
+        }
+    }
+
+    /// Starts the replica: proposes its block for the first round.
+    pub fn start(&mut self, now: SimTime) -> Vec<Outbound> {
+        self.propose(now)
+    }
+
+    /// Handles one protocol message.
+    pub fn handle(&mut self, from: ReplicaId, msg: Message, now: SimTime) -> Vec<Outbound> {
+        match msg {
+            Message::Header { header, block } => self.on_header(from, header, block),
+            Message::Ack {
+                header_digest,
+                dag,
+                signer,
+                ..
+            } => self.on_ack(dag, header_digest, signer),
+            Message::Vertex(vertex) => self.on_vertex(from, *vertex, now),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Proposal path
+    // ------------------------------------------------------------------
+
+    fn propose(&mut self, now: SimTime) -> Vec<Outbound> {
+        if self.proposed_current {
+            return Vec::new();
+        }
+        let started = Instant::now();
+        let context = ProposalContext {
+            leader_vertex_present: self.previous_leader_present(),
+            conflicting_cross_shard_pending: self.conflicting_cross_pending(),
+            should_shift: self.should_shift(),
+            use_skip_blocks: self.config.use_skip_blocks,
+        };
+        let decision = if self.mode == ExecutionMode::Tusk {
+            // Tusk has no preplay path: everything is ordered first and
+            // executed after consensus. Shift blocks still apply.
+            if context.should_shift {
+                ProposalDecision::Shift
+            } else {
+                ProposalDecision::ConvertToCross
+            }
+        } else {
+            decide(context)
+        };
+
+        let (kind, payload) = match decision {
+            ProposalDecision::Shift => {
+                self.shifted_in_dag = true;
+                (BlockKind::Shift, BlockPayload::empty())
+            }
+            ProposalDecision::Preplay => {
+                let singles = self.proposer.take_single_batch();
+                let budget = self.config.system.ce.batch_size.saturating_sub(singles.len());
+                let cross = self.proposer.take_cross_batch(budget);
+                let preplayed = self.preplay(&singles);
+                (
+                    BlockKind::Normal,
+                    BlockPayload {
+                        single_shard: preplayed,
+                        cross_shard: cross,
+                    },
+                )
+            }
+            ProposalDecision::ConvertToCross => {
+                let mut cross = self.proposer.take_single_batch();
+                let budget = self.config.system.ce.batch_size.saturating_sub(cross.len());
+                cross.extend(self.proposer.take_cross_batch(budget));
+                (
+                    BlockKind::Normal,
+                    BlockPayload {
+                        single_shard: Vec::new(),
+                        cross_shard: cross,
+                    },
+                )
+            }
+            ProposalDecision::Skip => {
+                let cross = self
+                    .proposer
+                    .take_cross_batch(self.config.system.ce.batch_size);
+                (
+                    BlockKind::Skip,
+                    BlockPayload {
+                        single_shard: Vec::new(),
+                        cross_shard: cross,
+                    },
+                )
+            }
+        };
+
+        let parents = if self.current_round == self.dag.start_round() {
+            Vec::new()
+        } else {
+            self.dag.certificates_at_round(self.current_round.prev())
+        };
+        self.seq += 1;
+        let mut block = Block::normal(
+            self.dag_id,
+            self.current_round,
+            self.id,
+            self.proposer.shard(),
+            SeqNo::new(self.seq),
+            payload,
+            now,
+        );
+        block.kind = kind;
+        let header = Header::new(
+            self.dag_id,
+            self.current_round,
+            self.id,
+            block.digest(),
+            parents,
+            now,
+        );
+        self.my_header = Some(PendingHeader {
+            header: header.clone(),
+            block: block.clone(),
+            acks: HashSet::new(),
+            vertex_sent: false,
+        });
+        self.proposed_current = true;
+        self.rounds_proposed_in_dag += 1;
+        self.busy += started.elapsed();
+        vec![Outbound::broadcast(Message::Header { header, block })]
+    }
+
+    /// Preplays a batch of single-shard transactions against committed state
+    /// plus this replica's own uncommitted preplay results.
+    fn preplay(&mut self, singles: &[Transaction]) -> Vec<PreplayedTx> {
+        if singles.is_empty() {
+            return Vec::new();
+        }
+        let mut overlay_map: HashMap<Key, Value> = HashMap::new();
+        for (_, writes) in &self.overlay {
+            for (key, value) in writes {
+                overlay_map.insert(*key, value.clone());
+            }
+        }
+        let result = match self.mode {
+            ExecutionMode::Thunderbolt => {
+                let base = OverlayRead {
+                    store: &self.store,
+                    overlay: &overlay_map,
+                };
+                self.ce.preplay(singles, &base)
+            }
+            ExecutionMode::ThunderboltOcc => {
+                // OCC preplays against a scratch copy of the committed state
+                // (plus the overlay) and throws the copy away.
+                let scratch = MemStore::new();
+                scratch.load(
+                    self.store
+                        .snapshot()
+                        .iter()
+                        .map(|(k, v)| (*k, v.value.clone())),
+                );
+                scratch.load(overlay_map.iter().map(|(k, v)| (*k, v.clone())));
+                self.occ.execute_batch(singles, &scratch)
+            }
+            ExecutionMode::Tusk => unreachable!("Tusk never preplays"),
+        };
+        self.metrics.reexecutions += result.reexecutions;
+        let writes: HashMap<Key, Value> = result.write_batch().into_writes().into_iter().collect();
+        self.overlay.push_back((self.current_round, writes));
+        result.preplayed
+    }
+
+    fn previous_leader_present(&self) -> bool {
+        let current = self.current_round.as_u64();
+        let start = self.dag.start_round().as_u64();
+        if current <= start + 1 {
+            return true;
+        }
+        // The latest leader round strictly before the current round.
+        let candidate = current - 1;
+        let leader_round = if candidate % 2 == 1 { candidate } else { candidate - 1 };
+        if leader_round < start.max(1) {
+            return true;
+        }
+        let round = Round::new(leader_round);
+        let leader = self.committee.leader(self.dag_id, round);
+        self.dag.by_author_round(leader, round).is_some()
+    }
+
+    fn conflicting_cross_pending(&self) -> bool {
+        let my_shard = self.proposer.shard();
+        self.dag.iter().any(|vertex| {
+            !self.committer.is_delivered(&vertex.id())
+                && vertex
+                    .block
+                    .payload
+                    .cross_shard
+                    .iter()
+                    .any(|tx| tx.touches_shard(my_shard))
+        })
+    }
+
+    fn should_shift(&self) -> bool {
+        if self.shifted_in_dag {
+            return false;
+        }
+        let reconfig = self.config.system.reconfig;
+        // Condition 2: the replica proposed for K' rounds in this DAG.
+        if self.rounds_proposed_in_dag >= reconfig.period_k_prime {
+            return true;
+        }
+        let current = self.current_round.as_u64();
+        let start = self.dag.start_round().as_u64();
+        // Condition 1: some proposer has been silent for K rounds.
+        if current >= start + reconfig.silent_rounds_k {
+            for author in self.committee.replicas() {
+                if author == self.id {
+                    continue;
+                }
+                let seen = (current - reconfig.silent_rounds_k..current).any(|r| {
+                    self.dag.by_author_round(author, Round::new(r)).is_some()
+                });
+                if !seen {
+                    return true;
+                }
+            }
+        }
+        // Condition 3: f + 1 Shift blocks in the previous round.
+        if current > start {
+            let shift_count = self
+                .dag
+                .at_round(self.current_round.prev())
+                .iter()
+                .filter(|v| v.block.is_shift())
+                .count();
+            if shift_count >= self.committee.validity_threshold() {
+                return true;
+            }
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Message handlers
+    // ------------------------------------------------------------------
+
+    fn on_header(&mut self, from: ReplicaId, header: Header, block: Block) -> Vec<Outbound> {
+        if header.dag > self.dag_id {
+            self.future_messages
+                .push((from, Message::Header { header, block }));
+            return Vec::new();
+        }
+        if header.dag < self.dag_id
+            || header.author != from
+            || header.round < self.dag.start_round()
+            || block.digest() != header.block_digest
+        {
+            return Vec::new();
+        }
+        vec![Outbound::to(
+            from,
+            Message::Ack {
+                header_digest: header.digest(),
+                dag: header.dag,
+                round: header.round,
+                signer: self.id,
+            },
+        )]
+    }
+
+    fn on_ack(&mut self, dag: DagId, header_digest: Digest, signer: ReplicaId) -> Vec<Outbound> {
+        if dag != self.dag_id {
+            return Vec::new();
+        }
+        let quorum = self.committee.quorum_threshold();
+        let Some(pending) = self.my_header.as_mut() else {
+            return Vec::new();
+        };
+        if pending.header.digest() != header_digest || pending.vertex_sent {
+            return Vec::new();
+        }
+        pending.acks.insert(signer);
+        if pending.acks.len() < quorum {
+            return Vec::new();
+        }
+        pending.vertex_sent = true;
+        let certificate = Certificate::for_header(
+            &pending.header,
+            pending.acks.iter().copied().collect(),
+        );
+        let vertex = Vertex::new(pending.header.clone(), pending.block.clone(), certificate);
+        vec![Outbound::broadcast(Message::Vertex(Box::new(vertex)))]
+    }
+
+    fn on_vertex(&mut self, from: ReplicaId, vertex: Vertex, now: SimTime) -> Vec<Outbound> {
+        if vertex.dag() > self.dag_id {
+            self.future_messages
+                .push((from, Message::Vertex(Box::new(vertex))));
+            return Vec::new();
+        }
+        if vertex.dag() < self.dag_id {
+            return Vec::new();
+        }
+        match self.dag.insert(vertex.clone()) {
+            Ok(_) => {}
+            Err(DagError::MissingParent { .. }) => {
+                self.pending_vertices.push(vertex);
+                return Vec::new();
+            }
+            Err(_) => return Vec::new(),
+        }
+        self.drain_pending_vertices();
+
+        let mut out = Vec::new();
+        out.extend(self.run_commit_loop(now));
+        out.extend(self.maybe_advance(now));
+        out
+    }
+
+    fn drain_pending_vertices(&mut self) {
+        loop {
+            let mut progressed = false;
+            let pending = std::mem::take(&mut self.pending_vertices);
+            for vertex in pending {
+                if vertex.dag() != self.dag_id {
+                    continue;
+                }
+                match self.dag.insert(vertex.clone()) {
+                    Ok(_) => progressed = true,
+                    Err(DagError::MissingParent { .. }) => self.pending_vertices.push(vertex),
+                    Err(_) => {}
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit + reconfiguration
+    // ------------------------------------------------------------------
+
+    fn run_commit_loop(&mut self, now: SimTime) -> Vec<Outbound> {
+        let mut out = Vec::new();
+        let sub_dags = self.committer.try_commit(&self.dag);
+        for sub_dag in sub_dags {
+            let output = self.pipeline.process(&sub_dag, &self.store, now);
+            self.busy += output.busy;
+            self.metrics.committed_txs += output.committed_count() as u64;
+            self.metrics.single_shard_txs += output.single_shard_committed as u64;
+            self.metrics.cross_shard_txs += output.cross_shard_committed as u64;
+            self.metrics.invalid_blocks += output.invalid_blocks as u64;
+            self.metrics.total_latency_secs += output.total_latency_secs;
+            self.metrics.round_commits.push(RoundCommitSample {
+                dag: self.dag_id.as_inner(),
+                round: sub_dag.leader_round,
+                committed_at: now,
+            });
+            // Drop overlay entries for this replica's own delivered blocks.
+            for vertex in &sub_dag.vertices {
+                if vertex.author() == self.id {
+                    let delivered_round = vertex.round();
+                    while self
+                        .overlay
+                        .front()
+                        .is_some_and(|(round, _)| *round <= delivered_round)
+                    {
+                        self.overlay.pop_front();
+                    }
+                }
+            }
+            // Reconfiguration: the first committed sub-DAG whose cumulative
+            // Shift-block authors reach 2f + 1 fixes the ending round.
+            for author in &output.shift_authors {
+                self.shift_quorum_authors.insert(*author);
+            }
+            if self.shift_quorum_authors.len() >= self.committee.quorum_threshold() {
+                out.extend(self.reconfigure(sub_dag.leader_round, now));
+                return out;
+            }
+        }
+        out
+    }
+
+    fn reconfigure(&mut self, ending_round: Round, now: SimTime) -> Vec<Outbound> {
+        self.metrics.reconfigurations += 1;
+        self.dag_id = DagId::new(self.dag_id.as_inner() + 1);
+        self.assignment = self.assignment.next();
+        self.dag = DagStore::new(self.committee, self.dag_id, ending_round);
+        self.committer = Committer::new(self.committee, self.dag_id, ending_round);
+        self.current_round = ending_round;
+        self.proposed_current = false;
+        self.my_header = None;
+        self.pending_vertices.retain(|v| v.dag() == self.dag_id);
+        self.overlay.clear();
+        self.shifted_in_dag = false;
+        self.rounds_proposed_in_dag = 0;
+        self.shift_quorum_authors.clear();
+        self.proposer.reassign(self.assignment.shard_of(self.id));
+
+        let mut out = self.propose(now);
+        // Replay buffered messages that were ahead of us.
+        let buffered: Vec<(ReplicaId, Message)> = std::mem::take(&mut self.future_messages);
+        for (from, msg) in buffered {
+            out.extend(self.handle(from, msg, now));
+        }
+        out
+    }
+
+    fn maybe_advance(&mut self, now: SimTime) -> Vec<Outbound> {
+        let mut out = Vec::new();
+        while self.proposed_current && self.dag.round_has_quorum(self.current_round) {
+            self.current_round = self.current_round.next();
+            self.proposed_current = false;
+            self.my_header = None;
+            out.extend(self.propose(now));
+        }
+        out
+    }
+}
+
+/// Committed storage plus the proposer's own uncommitted preplay writes.
+struct OverlayRead<'a> {
+    store: &'a MemStore,
+    overlay: &'a HashMap<Key, Value>,
+}
+
+impl KvRead for OverlayRead<'_> {
+    fn get(&self, key: &Key) -> Value {
+        self.overlay
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| self.store.get(key))
+    }
+
+    fn get_versioned(&self, key: &Key) -> Versioned {
+        match self.overlay.get(key) {
+            Some(value) => {
+                let base = self.store.get_versioned(key);
+                Versioned::new(value.clone(), base.version + 1)
+            }
+            None => self.store.get_versioned(key),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, ExecutionMode};
+    use tb_types::{CeConfig, ClientId, ContractCall, SmallBankProcedure, SystemConfig, TxId};
+
+    fn config(n: u32) -> ClusterConfig {
+        let mut system = SystemConfig::with_replicas(n);
+        system.ce = CeConfig::new(2, 64).without_synthetic_cost();
+        system.validators = 2;
+        ClusterConfig {
+            system,
+            mode: ExecutionMode::Thunderbolt,
+            use_skip_blocks: false,
+            seed: 7,
+            label: None,
+        }
+    }
+
+    fn payment(id: u64, from: u64, to: u64, n_shards: u32) -> Transaction {
+        Transaction::new(
+            TxId::new(id),
+            ClientId::new(0),
+            ContractCall::SmallBank(SmallBankProcedure::SendPayment { from, to, amount: 1 }),
+            n_shards,
+            SimTime::ZERO,
+        )
+    }
+
+    /// Drives a set of replicas to completion by synchronously delivering
+    /// every outbound message (no latency, no faults). Returns when no more
+    /// messages are produced.
+    fn run_synchronously(replicas: &mut [Replica], rounds_budget: usize) {
+        let mut inbox: VecDeque<(ReplicaId, ReplicaId, Message)> = VecDeque::new();
+        let now = SimTime::ZERO;
+        let n = replicas.len();
+        for replica in replicas.iter_mut() {
+            for outbound in replica.start(now) {
+                enqueue(&mut inbox, replica.id(), outbound, n);
+            }
+        }
+        let mut steps = 0usize;
+        let budget = rounds_budget * n * n * 20;
+        while let Some((from, to, msg)) = inbox.pop_front() {
+            steps += 1;
+            if steps > budget {
+                break;
+            }
+            let replica = &mut replicas[to.as_inner() as usize];
+            if replica.current_round().as_u64() >= rounds_budget as u64 {
+                continue;
+            }
+            for outbound in replica.handle(from, msg, now) {
+                enqueue(&mut inbox, replica.id(), outbound, n);
+            }
+        }
+    }
+
+    fn enqueue(
+        inbox: &mut VecDeque<(ReplicaId, ReplicaId, Message)>,
+        from: ReplicaId,
+        outbound: Outbound,
+        n: usize,
+    ) {
+        match outbound.dest {
+            Destination::Broadcast => {
+                for to in 0..n {
+                    inbox.push_back((from, ReplicaId::new(to as u32), outbound.msg.clone()));
+                }
+            }
+            Destination::To(to) => inbox.push_back((from, to, outbound.msg.clone())),
+        }
+    }
+
+    #[test]
+    fn start_proposes_a_header_for_round_zero() {
+        let mut replica = Replica::new(ReplicaId::new(0), config(4));
+        let out = replica.start(SimTime::ZERO);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].msg.kind(), "header");
+        assert_eq!(out[0].msg.round(), Round::ZERO);
+        assert_eq!(replica.current_shard(), ShardId::new(0));
+        assert_eq!(replica.current_dag(), DagId::new(0));
+    }
+
+    #[test]
+    fn header_is_acknowledged_and_quorum_builds_a_vertex() {
+        let cfg = config(4);
+        let mut proposer = Replica::new(ReplicaId::new(0), cfg.clone());
+        let mut other = Replica::new(ReplicaId::new(1), cfg);
+        let out = proposer.start(SimTime::ZERO);
+        let Message::Header { header, block } = out[0].msg.clone() else {
+            panic!("expected header");
+        };
+        // Another replica acknowledges the header.
+        let acks = other.handle(
+            ReplicaId::new(0),
+            Message::Header {
+                header: header.clone(),
+                block: block.clone(),
+            },
+            SimTime::ZERO,
+        );
+        assert_eq!(acks.len(), 1);
+        assert_eq!(acks[0].msg.kind(), "ack");
+        assert_eq!(acks[0].dest, Destination::To(ReplicaId::new(0)));
+        // Feed three distinct acks to the proposer: a vertex is broadcast.
+        let mut vertex_msgs = Vec::new();
+        for signer in 1..4u32 {
+            let out = proposer.handle(
+                ReplicaId::new(signer),
+                Message::Ack {
+                    header_digest: header.digest(),
+                    dag: DagId::new(0),
+                    round: Round::ZERO,
+                    signer: ReplicaId::new(signer),
+                },
+                SimTime::ZERO,
+            );
+            vertex_msgs.extend(out);
+        }
+        assert_eq!(vertex_msgs.len(), 1);
+        assert_eq!(vertex_msgs[0].msg.kind(), "vertex");
+    }
+
+    #[test]
+    fn four_replicas_commit_single_shard_payments_end_to_end() {
+        let cfg = config(4);
+        let mut replicas: Vec<Replica> = (0..4)
+            .map(|i| {
+                let mut r = Replica::new(ReplicaId::new(i), cfg.clone());
+                r.load_state(tb_workload::initial_smallbank_state(16, 1_000));
+                r
+            })
+            .collect();
+        // Give shard 0's proposer (replica 0) some single-shard payments
+        // (accounts 0 and 4 are both in shard 0 of 4).
+        for i in 0..10u64 {
+            assert!(replicas[0].enqueue(payment(i, 0, 4, 4)));
+        }
+        run_synchronously(&mut replicas, 8);
+
+        for replica in &replicas {
+            assert!(
+                replica.metrics().committed_txs >= 10,
+                "replica {} committed only {}",
+                replica.id(),
+                replica.metrics().committed_txs
+            );
+            assert_eq!(replica.metrics().invalid_blocks, 0);
+            // The payments moved 10 units from account 0 to account 4.
+            assert_eq!(
+                replica.store().get(&Key::checking(0)),
+                Value::int(1_000 - 10)
+            );
+            assert_eq!(
+                replica.store().get(&Key::checking(4)),
+                Value::int(1_000 + 10)
+            );
+        }
+        // All replicas agree on the final state.
+        let reference = replicas[0].store().snapshot();
+        for replica in &replicas[1..] {
+            let diff = replica.store().snapshot().diff_values(&reference);
+            assert!(diff.is_empty(), "state divergence on {diff:?}");
+        }
+    }
+
+    #[test]
+    fn cross_shard_transactions_commit_on_every_replica() {
+        let cfg = config(4);
+        let mut replicas: Vec<Replica> = (0..4)
+            .map(|i| {
+                let mut r = Replica::new(ReplicaId::new(i), cfg.clone());
+                r.load_state(tb_workload::initial_smallbank_state(16, 1_000));
+                r
+            })
+            .collect();
+        // A cross-shard payment from account 0 (shard 0) to account 1
+        // (shard 1), routed to its home shard proposer (replica 0).
+        assert!(replicas[0].enqueue(payment(1, 0, 1, 4)));
+        run_synchronously(&mut replicas, 8);
+        for replica in &replicas {
+            assert!(replica.metrics().cross_shard_txs >= 1);
+            assert_eq!(replica.store().get(&Key::checking(0)), Value::int(999));
+            assert_eq!(replica.store().get(&Key::checking(1)), Value::int(1_001));
+        }
+    }
+
+    #[test]
+    fn tusk_mode_commits_the_same_state_without_preplay() {
+        let mut cfg = config(4);
+        cfg.mode = ExecutionMode::Tusk;
+        let mut replicas: Vec<Replica> = (0..4)
+            .map(|i| {
+                let mut r = Replica::new(ReplicaId::new(i), cfg.clone());
+                r.load_state(tb_workload::initial_smallbank_state(16, 1_000));
+                r
+            })
+            .collect();
+        for i in 0..6u64 {
+            replicas[0].enqueue(payment(i, 0, 4, 4));
+        }
+        run_synchronously(&mut replicas, 8);
+        for replica in &replicas {
+            assert!(replica.metrics().committed_txs >= 6);
+            assert_eq!(
+                replica.metrics().single_shard_txs, 0,
+                "Tusk never ships preplayed payloads"
+            );
+            assert_eq!(replica.store().get(&Key::checking(0)), Value::int(994));
+        }
+    }
+
+    #[test]
+    fn periodic_reconfiguration_rotates_shards_without_stopping() {
+        let mut cfg = config(4);
+        cfg.system.reconfig = tb_types::ReconfigConfig::new(3, 4);
+        let mut replicas: Vec<Replica> = (0..4)
+            .map(|i| Replica::new(ReplicaId::new(i), cfg.clone()))
+            .collect();
+        run_synchronously(&mut replicas, 20);
+        for replica in &replicas {
+            assert!(
+                replica.metrics().reconfigurations >= 1,
+                "replica {} never reconfigured",
+                replica.id()
+            );
+            assert!(replica.current_dag().as_inner() >= 1);
+        }
+        // After one reconfiguration replica 0 serves shard n-1 … i.e. the
+        // assignment rotated.
+        let r0 = &replicas[0];
+        assert_ne!(r0.current_shard(), ShardId::new(0));
+    }
+
+    #[test]
+    fn overlay_lets_consecutive_blocks_chain_on_hot_keys() {
+        // Two consecutive batches touching the same account must both
+        // validate: the second preplay has to observe the first one's writes
+        // even though they are not committed yet.
+        let cfg = config(4);
+        let mut replicas: Vec<Replica> = (0..4)
+            .map(|i| {
+                let mut r = Replica::new(ReplicaId::new(i), cfg.clone());
+                r.load_state(tb_workload::initial_smallbank_state(16, 1_000));
+                r
+            })
+            .collect();
+        for i in 0..40u64 {
+            replicas[0].enqueue(payment(i, 0, 4, 4));
+        }
+        run_synchronously(&mut replicas, 12);
+        for replica in &replicas {
+            assert_eq!(replica.metrics().invalid_blocks, 0);
+            assert!(replica.metrics().committed_txs >= 40);
+            assert_eq!(replica.store().get(&Key::checking(0)), Value::int(960));
+        }
+    }
+}

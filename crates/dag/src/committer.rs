@@ -1,0 +1,376 @@
+//! The Tusk commit rule (paper Section 2).
+//!
+//! Leaders are elected on odd rounds by round-robin. The leader vertex of
+//! round `r` commits *directly* once the local DAG holds `2f + 1` vertices of
+//! round `r + 1` and at least `f + 1` of them reference the leader. Leaders
+//! that miss direct commitment can still be committed *indirectly*: when a
+//! later leader commits, every undecided earlier leader found in its causal
+//! history is committed first. Committing a leader delivers its whole
+//! undelivered causal history in `(round, author)` order, so all honest
+//! replicas deliver the same sequence.
+
+use crate::store::DagStore;
+use std::collections::HashSet;
+use tb_types::{Committee, DagId, Digest, Round, Vertex};
+
+/// One committed leader together with the undelivered part of its causal
+/// history (the leader itself is the last element).
+#[derive(Clone, Debug)]
+pub struct CommittedSubDag {
+    /// The committed leader vertex.
+    pub leader: Vertex,
+    /// The leader round that triggered the commit.
+    pub leader_round: Round,
+    /// Every newly delivered vertex, ordered by `(round, author)`.
+    pub vertices: Vec<Vertex>,
+}
+
+impl CommittedSubDag {
+    /// Total number of transactions across the delivered vertices.
+    pub fn tx_count(&self) -> usize {
+        self.vertices.iter().map(|v| v.block.tx_count()).sum()
+    }
+}
+
+/// Tracks commit progress over one DAG instance.
+#[derive(Clone, Debug)]
+pub struct Committer {
+    committee: Committee,
+    dag: DagId,
+    next_leader_round: Round,
+    last_committed_leader_round: Option<Round>,
+    delivered: HashSet<Digest>,
+}
+
+impl Committer {
+    /// Creates a committer for DAG `dag` starting at `start_round`.
+    pub fn new(committee: Committee, dag: DagId, start_round: Round) -> Self {
+        let next_leader_round = if start_round.is_leader_round() {
+            start_round
+        } else {
+            start_round.next()
+        };
+        Committer {
+            committee,
+            dag,
+            next_leader_round,
+            last_committed_leader_round: None,
+            delivered: HashSet::new(),
+        }
+    }
+
+    /// The next leader round that has not been decided yet.
+    pub fn next_leader_round(&self) -> Round {
+        self.next_leader_round
+    }
+
+    /// The most recent leader round that committed (directly or indirectly).
+    pub fn last_committed_leader_round(&self) -> Option<Round> {
+        self.last_committed_leader_round
+    }
+
+    /// Number of vertices delivered so far.
+    pub fn delivered_count(&self) -> usize {
+        self.delivered.len()
+    }
+
+    /// True if the vertex has already been delivered.
+    pub fn is_delivered(&self, id: &Digest) -> bool {
+        self.delivered.contains(id)
+    }
+
+    /// Runs the commit rule against the current local DAG and returns every
+    /// newly committed leader (in commit order) with its delivered history.
+    pub fn try_commit(&mut self, store: &DagStore) -> Vec<CommittedSubDag> {
+        let mut out = Vec::new();
+        loop {
+            let leader_round = self.next_leader_round;
+            let support_round = leader_round.next();
+            // The support round must hold a quorum before the leader can be
+            // decided either way.
+            if !store.round_has_quorum(support_round) {
+                break;
+            }
+            let leader_author = self.committee.leader(self.dag, leader_round);
+            let direct_leader = store
+                .by_author_round(leader_author, leader_round)
+                .filter(|v| {
+                    store.support(&v.id(), support_round)
+                        >= self.committee.validity_threshold()
+                })
+                .cloned();
+
+            if let Some(leader_vertex) = direct_leader {
+                for sub_dag in self.commit_chain(store, leader_vertex, leader_round) {
+                    out.push(sub_dag);
+                }
+                self.last_committed_leader_round = Some(leader_round);
+            }
+            // Decided (committed or skipped): move to the next leader round.
+            self.next_leader_round = Round::new(leader_round.as_u64() + 2);
+        }
+        out
+    }
+
+    /// Commits `leader_vertex` plus every undecided earlier leader found in
+    /// its causal history, oldest first.
+    fn commit_chain(
+        &mut self,
+        store: &DagStore,
+        leader_vertex: Vertex,
+        leader_round: Round,
+    ) -> Vec<CommittedSubDag> {
+        // Walk back through the leader rounds that were skipped since the
+        // last committed leader and pick up those that are ancestors of the
+        // commit chain (indirect commitment).
+        let mut chain = vec![(leader_round, leader_vertex.clone())];
+        let mut current = leader_vertex.id();
+        let lower_bound = self
+            .last_committed_leader_round
+            .map(|r| r.as_u64() + 2)
+            .unwrap_or_else(|| self.first_leader_round(store).as_u64());
+        let mut plr = leader_round.as_u64();
+        while plr >= 2 && plr - 2 >= lower_bound {
+            plr -= 2;
+            let round = Round::new(plr);
+            let author = self.committee.leader(self.dag, round);
+            if let Some(prev_leader) = store.by_author_round(author, round) {
+                if store.is_ancestor(&prev_leader.id(), &current) {
+                    chain.push((round, prev_leader.clone()));
+                    current = prev_leader.id();
+                }
+            }
+        }
+        chain.reverse();
+
+        let mut out = Vec::new();
+        for (round, leader) in chain {
+            let mut vertices = Vec::new();
+            for digest in store.causal_history(&leader.id()) {
+                if self.delivered.insert(digest) {
+                    vertices.push(
+                        store
+                            .get(&digest)
+                            .expect("causal history only returns stored vertices")
+                            .clone(),
+                    );
+                }
+            }
+            out.push(CommittedSubDag {
+                leader,
+                leader_round: round,
+                vertices,
+            });
+        }
+        out
+    }
+
+    fn first_leader_round(&self, store: &DagStore) -> Round {
+        let start = store.start_round();
+        if start.is_leader_round() {
+            start
+        } else {
+            start.next()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+    use tb_types::{BlockKind, ReplicaId};
+
+    fn committee() -> Committee {
+        Committee::new(4)
+    }
+
+    fn full_dag(rounds: u64) -> DagStore {
+        DagBuilder::new(committee(), DagId::new(0), Round::ZERO)
+            .build_rounds(rounds, |_, _| BlockKind::Normal)
+    }
+
+    #[test]
+    fn complete_dag_commits_every_leader_in_order() {
+        let store = full_dag(8); // rounds 0..=7
+        let mut committer = Committer::new(committee(), DagId::new(0), Round::ZERO);
+        let committed = committer.try_commit(&store);
+        // Leaders at rounds 1, 3, 5 commit (round 7 lacks a support round).
+        let rounds: Vec<u64> = committed.iter().map(|c| c.leader_round.as_u64()).collect();
+        assert_eq!(rounds, vec![1, 3, 5]);
+        // Leader authors follow the round-robin schedule.
+        let authors: Vec<u32> = committed
+            .iter()
+            .map(|c| c.leader.author().as_inner())
+            .collect();
+        assert_eq!(authors, vec![0, 1, 2]);
+        // The causal history of the round-5 leader is delivered exactly once:
+        // every vertex of rounds 0..=4 plus the leader itself (the three
+        // other round-5 vertices are delivered by the next leader).
+        let delivered: usize = committed.iter().map(|c| c.vertices.len()).sum();
+        assert_eq!(delivered, 4 * 5 + 1);
+        assert_eq!(committer.delivered_count(), 21);
+        assert_eq!(committer.next_leader_round(), Round::new(7));
+    }
+
+    #[test]
+    fn commit_is_incremental_and_idempotent() {
+        let store = full_dag(8);
+        let mut committer = Committer::new(committee(), DagId::new(0), Round::ZERO);
+        let first = committer.try_commit(&store);
+        assert!(!first.is_empty());
+        // Running again on the same store commits nothing new.
+        assert!(committer.try_commit(&store).is_empty());
+    }
+
+    #[test]
+    fn incremental_feeding_matches_one_shot_ordering() {
+        // Build the full DAG once, and replay it round by round into a second
+        // committer; the delivered sequences must be identical.
+        let full = full_dag(10);
+        let mut one_shot = Committer::new(committee(), DagId::new(0), Round::ZERO);
+        let reference: Vec<Digest> = one_shot
+            .try_commit(&full)
+            .into_iter()
+            .flat_map(|c| c.vertices.into_iter().map(|v| v.id()))
+            .collect();
+
+        let mut incremental_store = DagStore::new(committee(), DagId::new(0), Round::ZERO);
+        let mut incremental = Committer::new(committee(), DagId::new(0), Round::ZERO);
+        let mut sequence = Vec::new();
+        for round in 0..10 {
+            for vertex in full.at_round(Round::new(round)) {
+                incremental_store.insert(vertex.clone()).unwrap();
+            }
+            for sub_dag in incremental.try_commit(&incremental_store) {
+                sequence.extend(sub_dag.vertices.iter().map(|v| v.id()));
+            }
+        }
+        assert_eq!(sequence, reference);
+    }
+
+    #[test]
+    fn leader_without_enough_support_is_skipped_then_committed_indirectly() {
+        // Replica 0 leads round 1. Build a DAG where round 2 exists but only
+        // one vertex references the leader (< f + 1 = 2): the leader cannot
+        // commit directly. The leader of round 3 commits and pulls the round-1
+        // leader in indirectly through its causal history.
+        let committee = committee();
+        let mut builder = DagBuilder::new(committee, DagId::new(0), Round::ZERO);
+        let mut store = DagStore::new(committee, DagId::new(0), Round::ZERO);
+
+        // Round 0: everyone proposes.
+        for author in committee.replicas() {
+            let v = builder.make_vertex(
+                author,
+                Round::new(0),
+                BlockKind::Normal,
+                Default::default(),
+                vec![],
+            );
+            store.insert(v).unwrap();
+        }
+        let r0_certs = store.certificates_at_round(Round::new(0));
+        // Round 1: everyone proposes (including the leader, replica 0).
+        for author in committee.replicas() {
+            let v = builder.make_vertex(
+                author,
+                Round::new(1),
+                BlockKind::Normal,
+                Default::default(),
+                r0_certs.clone(),
+            );
+            store.insert(v).unwrap();
+        }
+        let leader1 = store
+            .by_author_round(ReplicaId::new(0), Round::new(1))
+            .unwrap()
+            .id();
+        let r1_certs = store.certificates_at_round(Round::new(1));
+        // Round 2: only replica 1's vertex references the leader; the others
+        // reference the three non-leader vertices.
+        let without_leader: Vec<Digest> = r1_certs
+            .iter()
+            .copied()
+            .filter(|d| *d != leader1)
+            .collect();
+        for author in committee.replicas() {
+            let parents = if author == ReplicaId::new(1) {
+                r1_certs.clone()
+            } else {
+                without_leader.clone()
+            };
+            let v = builder.make_vertex(
+                author,
+                Round::new(2),
+                BlockKind::Normal,
+                Default::default(),
+                parents,
+            );
+            store.insert(v).unwrap();
+        }
+        let mut committer = Committer::new(committee, DagId::new(0), Round::ZERO);
+        assert!(
+            committer.try_commit(&store).is_empty(),
+            "leader 1 lacks f+1 support and round 3 does not exist yet"
+        );
+        assert_eq!(committer.next_leader_round(), Round::new(3));
+
+        // Rounds 3 and 4: complete; the leader of round 3 (replica 1) commits
+        // and, because replica 1's round-2 vertex references the round-1
+        // leader, the round-1 leader is committed indirectly first.
+        let store = builder
+            .extend_rounds(store, 2, |_, _| true, |_, _| BlockKind::Normal)
+            .unwrap();
+        let committed = committer.try_commit(&store);
+        let rounds: Vec<u64> = committed.iter().map(|c| c.leader_round.as_u64()).collect();
+        assert_eq!(rounds, vec![1, 3], "round-1 leader commits indirectly first");
+        let total: usize = committed.iter().map(|c| c.vertices.len()).sum();
+        assert_eq!(
+            committer.delivered_count(),
+            total,
+            "no vertex is delivered twice"
+        );
+    }
+
+    #[test]
+    fn dags_starting_late_use_the_first_odd_round_as_leader_round() {
+        let start = Round::new(6);
+        let mut builder = DagBuilder::new(committee(), DagId::new(1), start);
+        let store = builder.build_rounds(4, |_, _| BlockKind::Normal); // rounds 6..=9
+        let mut committer = Committer::new(committee(), DagId::new(1), start);
+        assert_eq!(committer.next_leader_round(), Round::new(7));
+        let committed = committer.try_commit(&store);
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].leader_round, Round::new(7));
+        // The leader schedule accounts for the DAG id, so DAG 1's round-7
+        // leader differs from DAG 0's.
+        assert_eq!(
+            committed[0].leader.author(),
+            committee().leader(DagId::new(1), Round::new(7))
+        );
+        // The leader's causal history — all of round 6 plus the leader — is
+        // delivered.
+        assert_eq!(committed[0].vertices.len(), 5);
+        assert_eq!(committed[0].tx_count(), 0);
+    }
+
+    #[test]
+    fn silent_replica_does_not_block_commits() {
+        // Replica 3 never proposes; the DAG still has 2f+1 = 3 vertices per
+        // round, so leaders keep committing.
+        let committee = committee();
+        let mut builder = DagBuilder::new(committee, DagId::new(0), Round::ZERO);
+        let store = builder
+            .build_partial(
+                6,
+                |_, author| author != ReplicaId::new(3),
+                |_, _| BlockKind::Normal,
+            )
+            .unwrap();
+        let mut committer = Committer::new(committee, DagId::new(0), Round::ZERO);
+        let committed = committer.try_commit(&store);
+        let rounds: Vec<u64> = committed.iter().map(|c| c.leader_round.as_u64()).collect();
+        assert_eq!(rounds, vec![1, 3]);
+    }
+}

@@ -1,0 +1,26 @@
+//! Narwhal/Tusk-style DAG substrate (paper Section 2).
+//!
+//! The protocol proceeds in rounds. Every round each replica proposes one
+//! vertex (a block plus references to at least `2f + 1` certificates of the
+//! previous round); once `2f + 1` replicas acknowledge it, the vertex is
+//! certified and can be referenced by the next round. A leader vertex is
+//! elected every two rounds; it commits once `2f + 1` vertices of the next
+//! round exist locally and at least `f + 1` of them reference it. Committing
+//! a leader delivers its entire undelivered causal history in a
+//! deterministic order, which is identical on every honest replica.
+//!
+//! This crate contains the *local* DAG machinery — the store, the commit
+//! rule and test builders. Message exchange (broadcasting headers, collecting
+//! acknowledgements, fetching missing vertices) lives in the `thunderbolt`
+//! crate, which drives these structures over the simulated network.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod committer;
+pub mod store;
+
+pub use builder::DagBuilder;
+pub use committer::{CommittedSubDag, Committer};
+pub use store::{DagError, DagStore};

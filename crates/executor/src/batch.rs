@@ -1,0 +1,214 @@
+//! Batch execution results and statistics.
+
+use std::time::Duration;
+use tb_storage::{KvWrite, MemStore, WriteBatch};
+use tb_types::{PreplayedTx, TxId, Value};
+
+/// Which engine produced a result (used in benchmark reports).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecutorKind {
+    /// The Thunderbolt concurrent executor.
+    ConcurrentExecutor,
+    /// Optimistic concurrency control.
+    Occ,
+    /// Two-phase locking, no-wait variant.
+    TwoPlNoWait,
+    /// Serial in-order execution.
+    Serial,
+}
+
+impl ExecutorKind {
+    /// Short display name matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecutorKind::ConcurrentExecutor => "Thunderbolt",
+            ExecutorKind::Occ => "OCC",
+            ExecutorKind::TwoPlNoWait => "2PL-No-Wait",
+            ExecutorKind::Serial => "Serial",
+        }
+    }
+}
+
+/// The outcome of executing (or preplaying) one batch of transactions.
+#[derive(Clone, Debug, Default)]
+pub struct BatchResult {
+    /// The transactions in their serialized execution order, together with
+    /// their read/write sets and results — exactly the content of a block's
+    /// single-shard payload.
+    pub preplayed: Vec<PreplayedTx>,
+    /// Total number of re-executions caused by concurrency-control aborts
+    /// (the paper's "# of Re-executions" metric counts the *average* per
+    /// transaction, which is `reexecutions / preplayed.len()`).
+    pub reexecutions: u64,
+    /// Number of transactions whose own logic rejected them (e.g.
+    /// insufficient funds). These still commit as no-ops.
+    pub logical_rejections: u64,
+    /// Wall-clock time spent executing the batch.
+    pub elapsed: Duration,
+    /// Sum over transactions of the time between first execution attempt and
+    /// commit; divided by the batch size this is the average transaction
+    /// latency reported in Figures 11 and 12.
+    pub total_latency: Duration,
+}
+
+impl BatchResult {
+    /// Number of committed transactions.
+    pub fn committed(&self) -> usize {
+        self.preplayed.len()
+    }
+
+    /// Throughput in transactions per second over the batch.
+    pub fn throughput_tps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.committed() as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Average per-transaction latency in seconds.
+    pub fn avg_latency_secs(&self) -> f64 {
+        if self.preplayed.is_empty() {
+            return 0.0;
+        }
+        self.total_latency.as_secs_f64() / self.preplayed.len() as f64
+    }
+
+    /// Average number of re-executions per transaction.
+    pub fn avg_reexecutions(&self) -> f64 {
+        if self.preplayed.is_empty() {
+            return 0.0;
+        }
+        self.reexecutions as f64 / self.preplayed.len() as f64
+    }
+
+    /// The combined write batch of the serialized order (later transactions
+    /// overwrite earlier ones), ready to be applied to a store.
+    pub fn write_batch(&self) -> WriteBatch {
+        let mut sorted: Vec<&PreplayedTx> = self.preplayed.iter().collect();
+        sorted.sort_by_key(|p| p.order);
+        let mut batch = WriteBatch::new();
+        for p in sorted {
+            batch.extend_from_write_set(&p.outcome.write_set);
+        }
+        batch
+    }
+
+    /// Applies the batch's write sets to a store in serialized order.
+    pub fn apply_to(&self, store: &MemStore) {
+        for (key, value) in self.write_batch().into_writes() {
+            store.put(key, value);
+        }
+    }
+
+    /// The return value recorded for a transaction, if it committed in this
+    /// batch.
+    pub fn return_value(&self, tx: TxId) -> Option<&Value> {
+        self.preplayed
+            .iter()
+            .find(|p| p.tx.id == tx)
+            .map(|p| &p.outcome.return_value)
+    }
+
+    /// True if the serialized order indices form a permutation of
+    /// `0..committed()` (a structural sanity check used by tests).
+    pub fn order_is_permutation(&self) -> bool {
+        let mut seen = vec![false; self.preplayed.len()];
+        for p in &self.preplayed {
+            let idx = p.order as usize;
+            if idx >= seen.len() || seen[idx] {
+                return false;
+            }
+            seen[idx] = true;
+        }
+        seen.into_iter().all(|s| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_storage::KvRead;
+    use tb_types::{
+        AccessRecord, ClientId, ContractCall, ExecOutcome, Key, SimTime, Transaction,
+    };
+
+    fn preplayed(id: u64, order: u32, writes: &[(Key, i64)]) -> PreplayedTx {
+        let tx = Transaction::new(
+            TxId::new(id),
+            ClientId::new(0),
+            ContractCall::Noop,
+            4,
+            SimTime::ZERO,
+        );
+        let mut outcome = ExecOutcome::empty();
+        for (k, v) in writes {
+            outcome.write_set.push(AccessRecord::new(*k, Value::int(*v)));
+        }
+        PreplayedTx::new(tx, outcome, order)
+    }
+
+    #[test]
+    fn empty_batch_has_zero_metrics() {
+        let r = BatchResult::default();
+        assert_eq!(r.committed(), 0);
+        assert_eq!(r.throughput_tps(), 0.0);
+        assert_eq!(r.avg_latency_secs(), 0.0);
+        assert_eq!(r.avg_reexecutions(), 0.0);
+        assert!(r.order_is_permutation());
+    }
+
+    #[test]
+    fn write_batch_respects_serialized_order_not_vec_order() {
+        let r = BatchResult {
+            preplayed: vec![
+                preplayed(2, 1, &[(Key::scratch(1), 20)]),
+                preplayed(1, 0, &[(Key::scratch(1), 10)]),
+            ],
+            ..BatchResult::default()
+        };
+        // Order index 1 (value 20) must win over order index 0 (value 10).
+        let store = MemStore::new();
+        r.apply_to(&store);
+        assert_eq!(store.get(&Key::scratch(1)), Value::int(20));
+        assert!(r.order_is_permutation());
+    }
+
+    #[test]
+    fn order_permutation_detects_gaps_and_duplicates() {
+        let dup = BatchResult {
+            preplayed: vec![preplayed(1, 0, &[]), preplayed(2, 0, &[])],
+            ..BatchResult::default()
+        };
+        assert!(!dup.order_is_permutation());
+        let gap = BatchResult {
+            preplayed: vec![preplayed(1, 0, &[]), preplayed(2, 2, &[])],
+            ..BatchResult::default()
+        };
+        assert!(!gap.order_is_permutation());
+    }
+
+    #[test]
+    fn metrics_are_computed_from_counts() {
+        let r = BatchResult {
+            preplayed: vec![preplayed(1, 0, &[]), preplayed(2, 1, &[])],
+            reexecutions: 3,
+            elapsed: Duration::from_millis(10),
+            total_latency: Duration::from_millis(4),
+            ..BatchResult::default()
+        };
+        assert_eq!(r.committed(), 2);
+        assert!((r.throughput_tps() - 200.0).abs() < 1.0);
+        assert!((r.avg_latency_secs() - 0.002).abs() < 1e-9);
+        assert!((r.avg_reexecutions() - 1.5).abs() < 1e-9);
+        assert!(r.return_value(TxId::new(1)).is_some());
+        assert!(r.return_value(TxId::new(9)).is_none());
+    }
+
+    #[test]
+    fn executor_kind_labels() {
+        assert_eq!(ExecutorKind::ConcurrentExecutor.label(), "Thunderbolt");
+        assert_eq!(ExecutorKind::Occ.label(), "OCC");
+        assert_eq!(ExecutorKind::TwoPlNoWait.label(), "2PL-No-Wait");
+        assert_eq!(ExecutorKind::Serial.label(), "Serial");
+    }
+}

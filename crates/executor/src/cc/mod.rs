@@ -1,0 +1,16 @@
+//! The concurrency controller (`CC`) of the concurrent executor.
+//!
+//! The CC maintains a *runtime dependency graph* over the transactions of a
+//! batch (paper Section 8). It needs no prior knowledge of read/write sets:
+//! edges are added as operations arrive, reads may observe uncommitted
+//! writes of other transactions, and the commit sequence defines the
+//! serialized execution order shipped in the block. Conflicts that cannot be
+//! resolved by rescheduling abort the offending transaction (and its
+//! data-flow dependents), which is the re-execution count reported in the
+//! evaluation.
+
+pub mod controller;
+pub mod graph;
+
+pub use controller::{ConcurrencyController, FinishStatus, TxHandle};
+pub use graph::{DependencyGraph, TxIdx, TxnStatus};

@@ -1,0 +1,40 @@
+//! Transaction execution engines for Thunderbolt.
+//!
+//! This crate implements the paper's **Concurrent Executor** (`CE`,
+//! Sections 7–8): a pool of executor workers that run contracts against a
+//! central **concurrency controller** (`CC`) which tracks all accesses in a
+//! runtime dependency graph, lets transactions read uncommitted data, and
+//! reschedules instead of aborting whenever a valid serialization exists.
+//! The CC needs no prior knowledge of read/write sets — they are *outputs*
+//! of the preplay, shipped in the block for later validation.
+//!
+//! It also implements the evaluation baselines (Section 11.1):
+//!
+//! * [`occ`] — optimistic concurrency control with a central verifier,
+//! * [`two_pl`] — 2PL-No-Wait with a central lock table,
+//! * [`serial`] — in-order execution (what Tusk does after consensus),
+//!
+//! and the post-consensus [`validation`] pass that rebuilds a dependency
+//! graph from the read/write sets declared in a block and re-executes the
+//! transactions in parallel to check the preplay results (Section 4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cc;
+pub mod ce;
+pub mod occ;
+pub mod serial;
+pub mod traits;
+pub mod two_pl;
+pub mod validation;
+
+pub use batch::{BatchResult, ExecutorKind};
+pub use cc::controller::{ConcurrencyController, FinishStatus};
+pub use ce::ConcurrentExecutor;
+pub use occ::OccExecutor;
+pub use serial::SerialExecutor;
+pub use traits::BatchExecutor;
+pub use two_pl::TwoPlNoWaitExecutor;
+pub use validation::{validate_block, ValidationConfig, ValidationReport};

@@ -1,0 +1,253 @@
+//! Optimistic concurrency control (paper Section 11.1).
+//!
+//! Each executor runs a transaction locally: reads fetch versioned values
+//! from the store, writes stay in a transaction-private buffer. On
+//! completion the executor hands the read versions and the write buffer to a
+//! central verifier, which re-checks every read version against the current
+//! store; a mismatch rejects the commit and the transaction is re-executed.
+//! Valid transactions apply their writes while still holding the verifier
+//! lock, which is what makes commits atomic.
+
+use crate::batch::{BatchResult, ExecutorKind};
+use crate::traits::{synthetic_work, BatchExecutor};
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use tb_contracts::{execute_call, ExecError, StateAccess, TrackingState};
+use tb_storage::{KvRead, KvWrite, MemStore};
+use tb_types::{CeConfig, Key, PreplayedTx, Transaction, Value};
+
+/// The OCC baseline executor.
+#[derive(Clone, Debug)]
+pub struct OccExecutor {
+    config: CeConfig,
+}
+
+impl OccExecutor {
+    /// Creates an OCC executor.
+    pub fn new(config: CeConfig) -> Self {
+        OccExecutor { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CeConfig {
+        &self.config
+    }
+}
+
+impl Default for OccExecutor {
+    fn default() -> Self {
+        OccExecutor::new(CeConfig::default())
+    }
+}
+
+/// Transaction-private session: optimistic reads, buffered writes.
+struct OccSession<'a> {
+    store: &'a MemStore,
+    read_versions: HashMap<Key, u64>,
+    writes: HashMap<Key, Value>,
+    op_cost: u64,
+}
+
+impl<'a> OccSession<'a> {
+    fn new(store: &'a MemStore, op_cost: u64) -> Self {
+        OccSession {
+            store,
+            read_versions: HashMap::new(),
+            writes: HashMap::new(),
+            op_cost,
+        }
+    }
+}
+
+impl StateAccess for OccSession<'_> {
+    fn read(&mut self, key: Key) -> Result<Value, ExecError> {
+        synthetic_work(self.op_cost);
+        if let Some(local) = self.writes.get(&key) {
+            return Ok(local.clone());
+        }
+        let versioned = self.store.get_versioned(&key);
+        self.read_versions.entry(key).or_insert(versioned.version);
+        Ok(versioned.value)
+    }
+
+    fn write(&mut self, key: Key, value: Value) -> Result<(), ExecError> {
+        synthetic_work(self.op_cost);
+        self.writes.insert(key, value);
+        Ok(())
+    }
+}
+
+impl BatchExecutor for OccExecutor {
+    fn kind(&self) -> ExecutorKind {
+        ExecutorKind::Occ
+    }
+
+    fn execute_batch(&self, txs: &[Transaction], store: &MemStore) -> BatchResult {
+        let started = Instant::now();
+        if txs.is_empty() {
+            return BatchResult::default();
+        }
+        let queue: SegQueue<usize> = SegQueue::new();
+        for idx in 0..txs.len() {
+            queue.push(idx);
+        }
+        let reexecutions = AtomicU64::new(0);
+        let remaining = AtomicU64::new(txs.len() as u64);
+        // The central verifier: validation + commit happen under this lock.
+        let verifier: Mutex<Vec<Option<(PreplayedTx, Duration)>>> =
+            Mutex::new((0..txs.len()).map(|_| None).collect());
+        let commit_counter = AtomicU64::new(0);
+        let op_cost = self.config.synthetic_op_cost_ns;
+        let workers = self.config.executors.max(1);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    while let Some(idx) = queue.pop() {
+                        let tx = &txs[idx];
+                        let tx_started = Instant::now();
+                        let mut attempts = 0u64;
+                        loop {
+                            attempts += 1;
+                            let mut tracking =
+                                TrackingState::new(OccSession::new(store, op_cost));
+                            let result = execute_call(&tx.call, &mut tracking)
+                                .expect("the OCC session never aborts mid-execution");
+                            let (mut outcome, session) = tracking.finish();
+                            outcome.return_value = result.return_value;
+                            outcome.logically_aborted = result.logically_aborted;
+
+                            // Validation + commit under the verifier lock.
+                            let mut slots = verifier.lock();
+                            let valid = session
+                                .read_versions
+                                .iter()
+                                .all(|(key, version)| {
+                                    store.get_versioned(key).version == *version
+                                });
+                            if valid {
+                                for (key, value) in &session.writes {
+                                    store.put(*key, value.clone());
+                                }
+                                let order =
+                                    commit_counter.fetch_add(1, Ordering::Relaxed) as u32;
+                                slots[idx] = Some((
+                                    PreplayedTx::new(tx.clone(), outcome, order),
+                                    tx_started.elapsed(),
+                                ));
+                                drop(slots);
+                                remaining.fetch_sub(1, Ordering::Relaxed);
+                                if attempts > 1 {
+                                    reexecutions.fetch_add(attempts - 1, Ordering::Relaxed);
+                                }
+                                break;
+                            }
+                            drop(slots);
+                            // Validation failed: re-execute from scratch.
+                        }
+                    }
+                });
+            }
+        });
+        debug_assert_eq!(remaining.load(Ordering::Relaxed), 0);
+
+        let slots = verifier.into_inner();
+        let mut total_latency = Duration::ZERO;
+        let mut preplayed: Vec<PreplayedTx> = Vec::with_capacity(txs.len());
+        let mut logical_rejections = 0;
+        for slot in slots.into_iter().flatten() {
+            total_latency += slot.1;
+            if slot.0.outcome.logically_aborted {
+                logical_rejections += 1;
+            }
+            preplayed.push(slot.0);
+        }
+        preplayed.sort_by_key(|p| p.order);
+        BatchResult {
+            preplayed,
+            reexecutions: reexecutions.into_inner(),
+            logical_rejections,
+            elapsed: started.elapsed(),
+            total_latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_contracts::SMALLBANK_DEFAULT_BALANCE;
+    use tb_types::{ClientId, ContractCall, SimTime, SmallBankProcedure, TxId};
+
+    fn payment(id: u64, from: u64, to: u64, amount: i64) -> Transaction {
+        Transaction::new(
+            TxId::new(id),
+            ClientId::new(0),
+            ContractCall::SmallBank(SmallBankProcedure::SendPayment { from, to, amount }),
+            1,
+            SimTime::ZERO,
+        )
+    }
+
+    fn occ(executors: usize) -> OccExecutor {
+        OccExecutor::new(CeConfig::new(executors, 512).without_synthetic_cost())
+    }
+
+    fn funded_store(accounts: u64) -> MemStore {
+        let store = MemStore::new();
+        store.load(tb_workload::initial_smallbank_state(
+            accounts,
+            SMALLBANK_DEFAULT_BALANCE,
+        ));
+        store
+    }
+
+    #[test]
+    fn commits_every_transaction_and_conserves_money() {
+        let store = funded_store(8);
+        let initial = store.stats().int_sum;
+        let txs: Vec<Transaction> = (0..100)
+            .map(|i| payment(i, i % 8, (i + 1) % 8, 1))
+            .collect();
+        let result = occ(8).execute_batch(&txs, &store);
+        assert_eq!(result.committed(), 100);
+        assert!(result.order_is_permutation());
+        assert_eq!(store.stats().int_sum, initial);
+    }
+
+    #[test]
+    fn contention_causes_reexecutions_but_not_losses() {
+        let store = funded_store(2);
+        // Every transaction touches account 0: maximal contention.
+        let txs: Vec<Transaction> = (0..64).map(|i| payment(i, 0, 1, 1)).collect();
+        let result = occ(8).execute_batch(&txs, &store);
+        assert_eq!(result.committed(), 64);
+        assert_eq!(
+            store.get(&Key::checking(0)),
+            Value::int(SMALLBANK_DEFAULT_BALANCE - 64)
+        );
+        assert_eq!(
+            store.get(&Key::checking(1)),
+            Value::int(SMALLBANK_DEFAULT_BALANCE + 64)
+        );
+    }
+
+    #[test]
+    fn single_executor_never_reexecutes() {
+        let store = funded_store(4);
+        let txs: Vec<Transaction> = (0..32).map(|i| payment(i, 0, 1, 1)).collect();
+        let result = occ(1).execute_batch(&txs, &store);
+        assert_eq!(result.reexecutions, 0);
+        assert_eq!(result.committed(), 32);
+    }
+
+    #[test]
+    fn empty_batch_short_circuits() {
+        let store = funded_store(1);
+        let result = occ(4).execute_batch(&[], &store);
+        assert_eq!(result.committed(), 0);
+    }
+}

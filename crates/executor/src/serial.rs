@@ -1,0 +1,141 @@
+//! Serial in-order execution.
+//!
+//! This is what a DAG protocol with sequential post-consensus execution
+//! (plain Tusk in the evaluation) does: transactions are executed one after
+//! the other in their consensus order. It also serves as the reference
+//! implementation the property tests compare the concurrent engines against.
+
+use crate::batch::{BatchResult, ExecutorKind};
+use crate::traits::{synthetic_work, BatchExecutor};
+use std::time::{Duration, Instant};
+use tb_contracts::{execute_call, ExecError, StateAccess, TrackingState};
+use tb_storage::{KvRead, KvWrite, MemStore};
+use tb_types::{CeConfig, Key, PreplayedTx, Transaction, Value};
+
+/// Executes transactions serially, applying each transaction's writes before
+/// the next one starts.
+#[derive(Clone, Debug, Default)]
+pub struct SerialExecutor {
+    /// Synthetic per-operation cost, matching the other engines so that
+    /// comparisons are apples-to-apples.
+    pub op_cost_ns: u64,
+}
+
+impl SerialExecutor {
+    /// Creates a serial executor with no synthetic per-operation cost.
+    pub fn new() -> Self {
+        SerialExecutor { op_cost_ns: 0 }
+    }
+
+    /// Creates a serial executor matching the costs of a [`CeConfig`].
+    pub fn from_config(config: &CeConfig) -> Self {
+        SerialExecutor {
+            op_cost_ns: config.synthetic_op_cost_ns,
+        }
+    }
+}
+
+/// Session reading from / writing straight to the store.
+struct SerialSession<'a> {
+    store: &'a MemStore,
+    op_cost: u64,
+}
+
+impl StateAccess for SerialSession<'_> {
+    fn read(&mut self, key: Key) -> Result<Value, ExecError> {
+        synthetic_work(self.op_cost);
+        Ok(self.store.get(&key))
+    }
+
+    fn write(&mut self, key: Key, value: Value) -> Result<(), ExecError> {
+        synthetic_work(self.op_cost);
+        self.store.put(key, value);
+        Ok(())
+    }
+}
+
+impl BatchExecutor for SerialExecutor {
+    fn kind(&self) -> ExecutorKind {
+        ExecutorKind::Serial
+    }
+
+    fn execute_batch(&self, txs: &[Transaction], store: &MemStore) -> BatchResult {
+        let started = Instant::now();
+        let mut preplayed = Vec::with_capacity(txs.len());
+        let mut total_latency = Duration::ZERO;
+        let mut logical_rejections = 0;
+        for (order, tx) in txs.iter().enumerate() {
+            let tx_started = Instant::now();
+            let session = SerialSession {
+                store,
+                op_cost: self.op_cost_ns,
+            };
+            let mut tracking = TrackingState::new(session);
+            let result = execute_call(&tx.call, &mut tracking)
+                .expect("serial execution never aborts");
+            let (mut outcome, _) = tracking.finish();
+            outcome.return_value = result.return_value;
+            outcome.logically_aborted = result.logically_aborted;
+            if outcome.logically_aborted {
+                logical_rejections += 1;
+            }
+            total_latency += tx_started.elapsed();
+            preplayed.push(PreplayedTx::new(tx.clone(), outcome, order as u32));
+        }
+        BatchResult {
+            preplayed,
+            reexecutions: 0,
+            logical_rejections,
+            elapsed: started.elapsed(),
+            total_latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_types::{ClientId, ContractCall, SimTime, SmallBankProcedure, TxId};
+
+    fn payment(id: u64, from: u64, to: u64, amount: i64) -> Transaction {
+        Transaction::new(
+            TxId::new(id),
+            ClientId::new(0),
+            ContractCall::SmallBank(SmallBankProcedure::SendPayment { from, to, amount }),
+            1,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn executes_in_input_order_and_applies_writes() {
+        let store = MemStore::new();
+        store.put(Key::checking(0), Value::int(100));
+        store.put(Key::checking(1), Value::int(0));
+        let txs = vec![payment(1, 0, 1, 60), payment(2, 0, 1, 60)];
+        let result = SerialExecutor::new().execute_batch(&txs, &store);
+        assert_eq!(result.committed(), 2);
+        // The second payment sees only 40 left and is rejected.
+        assert_eq!(result.logical_rejections, 1);
+        assert_eq!(store.get(&Key::checking(0)), Value::int(40));
+        assert_eq!(store.get(&Key::checking(1)), Value::int(60));
+        assert_eq!(result.preplayed[0].order, 0);
+        assert_eq!(result.preplayed[1].order, 1);
+        assert_eq!(result.reexecutions, 0);
+    }
+
+    #[test]
+    fn tracks_read_and_write_sets() {
+        let store = MemStore::new();
+        store.put(Key::checking(3), Value::int(10));
+        let txs = vec![payment(1, 3, 4, 5)];
+        let result = SerialExecutor::new().execute_batch(&txs, &store);
+        let outcome = &result.preplayed[0].outcome;
+        assert_eq!(outcome.read_value(&Key::checking(3)), Some(&Value::int(10)));
+        assert_eq!(
+            outcome.written_value(&Key::checking(3)),
+            Some(&Value::int(5))
+        );
+        assert_eq!(outcome.written_value(&Key::checking(4)), Some(&Value::int(5)));
+    }
+}

@@ -1,0 +1,327 @@
+//! 2PL-No-Wait (paper Section 11.1).
+//!
+//! Executors acquire read/write locks through a central lock table as they
+//! touch keys. If a lock cannot be granted immediately, the transaction
+//! releases everything it holds and re-executes from scratch (the "no wait"
+//! policy, which trades aborts for deadlock freedom). Writes are buffered and
+//! applied to the store at commit time, before the locks are released.
+
+use crate::batch::{BatchResult, ExecutorKind};
+use crate::traits::{synthetic_work, BatchExecutor};
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use tb_contracts::{execute_call, ExecError, StateAccess, TrackingState};
+use tb_storage::{KvRead, KvWrite, MemStore};
+use tb_types::{CeConfig, Key, PreplayedTx, Transaction, Value};
+
+/// Lock modes in the central lock table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum LockState {
+    /// Held in shared mode by the given transactions.
+    Shared(HashSet<usize>),
+    /// Held exclusively by one transaction.
+    Exclusive(usize),
+}
+
+/// The central lock table.
+#[derive(Debug, Default)]
+struct LockTable {
+    locks: Mutex<HashMap<Key, LockState>>,
+}
+
+impl LockTable {
+    fn new() -> Self {
+        LockTable::default()
+    }
+
+    /// Tries to acquire a shared lock for `owner`. Returns false on conflict.
+    fn lock_shared(&self, key: Key, owner: usize) -> bool {
+        let mut locks = self.locks.lock();
+        match locks.get_mut(&key) {
+            None => {
+                locks.insert(key, LockState::Shared(HashSet::from([owner])));
+                true
+            }
+            Some(LockState::Shared(holders)) => {
+                holders.insert(owner);
+                true
+            }
+            Some(LockState::Exclusive(holder)) => *holder == owner,
+        }
+    }
+
+    /// Tries to acquire (or upgrade to) an exclusive lock for `owner`.
+    fn lock_exclusive(&self, key: Key, owner: usize) -> bool {
+        let mut locks = self.locks.lock();
+        match locks.get_mut(&key) {
+            None => {
+                locks.insert(key, LockState::Exclusive(owner));
+                true
+            }
+            Some(LockState::Exclusive(holder)) => *holder == owner,
+            Some(LockState::Shared(holders)) => {
+                if holders.len() == 1 && holders.contains(&owner) {
+                    locks.insert(key, LockState::Exclusive(owner));
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Releases every lock held by `owner`.
+    fn release_all(&self, owner: usize) {
+        let mut locks = self.locks.lock();
+        locks.retain(|_, state| match state {
+            LockState::Exclusive(holder) => *holder != owner,
+            LockState::Shared(holders) => {
+                holders.remove(&owner);
+                !holders.is_empty()
+            }
+        });
+    }
+}
+
+/// The 2PL-No-Wait baseline executor.
+#[derive(Clone, Debug)]
+pub struct TwoPlNoWaitExecutor {
+    config: CeConfig,
+}
+
+impl TwoPlNoWaitExecutor {
+    /// Creates a 2PL-No-Wait executor.
+    pub fn new(config: CeConfig) -> Self {
+        TwoPlNoWaitExecutor { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CeConfig {
+        &self.config
+    }
+}
+
+impl Default for TwoPlNoWaitExecutor {
+    fn default() -> Self {
+        TwoPlNoWaitExecutor::new(CeConfig::default())
+    }
+}
+
+/// Per-attempt session: acquires locks as keys are touched.
+struct TwoPlSession<'a> {
+    store: &'a MemStore,
+    table: &'a LockTable,
+    owner: usize,
+    writes: HashMap<Key, Value>,
+    op_cost: u64,
+}
+
+impl StateAccess for TwoPlSession<'_> {
+    fn read(&mut self, key: Key) -> Result<Value, ExecError> {
+        synthetic_work(self.op_cost);
+        if let Some(local) = self.writes.get(&key) {
+            return Ok(local.clone());
+        }
+        if !self.table.lock_shared(key, self.owner) {
+            return Err(ExecError::aborted(format!("read lock on {key} denied")));
+        }
+        Ok(self.store.get(&key))
+    }
+
+    fn write(&mut self, key: Key, value: Value) -> Result<(), ExecError> {
+        synthetic_work(self.op_cost);
+        if !self.table.lock_exclusive(key, self.owner) {
+            return Err(ExecError::aborted(format!("write lock on {key} denied")));
+        }
+        self.writes.insert(key, value);
+        Ok(())
+    }
+}
+
+impl BatchExecutor for TwoPlNoWaitExecutor {
+    fn kind(&self) -> ExecutorKind {
+        ExecutorKind::TwoPlNoWait
+    }
+
+    fn execute_batch(&self, txs: &[Transaction], store: &MemStore) -> BatchResult {
+        let started = Instant::now();
+        if txs.is_empty() {
+            return BatchResult::default();
+        }
+        let queue: SegQueue<usize> = SegQueue::new();
+        for idx in 0..txs.len() {
+            queue.push(idx);
+        }
+        let table = LockTable::new();
+        let reexecutions = AtomicU64::new(0);
+        let commit_counter = AtomicU64::new(0);
+        let slots: Mutex<Vec<Option<(PreplayedTx, Duration)>>> =
+            Mutex::new((0..txs.len()).map(|_| None).collect());
+        let op_cost = self.config.synthetic_op_cost_ns;
+        let workers = self.config.executors.max(1);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    while let Some(idx) = queue.pop() {
+                        let tx = &txs[idx];
+                        let tx_started = Instant::now();
+                        let mut attempts = 0u64;
+                        loop {
+                            attempts += 1;
+                            let session = TwoPlSession {
+                                store,
+                                table: &table,
+                                owner: idx,
+                                writes: HashMap::new(),
+                                op_cost,
+                            };
+                            let mut tracking = TrackingState::new(session);
+                            match execute_call(&tx.call, &mut tracking) {
+                                Ok(result) => {
+                                    let (mut outcome, session) = tracking.finish();
+                                    outcome.return_value = result.return_value;
+                                    outcome.logically_aborted = result.logically_aborted;
+                                    // Commit: apply buffered writes, then
+                                    // release the locks.
+                                    for (key, value) in &session.writes {
+                                        store.put(*key, value.clone());
+                                    }
+                                    table.release_all(idx);
+                                    let order =
+                                        commit_counter.fetch_add(1, Ordering::Relaxed) as u32;
+                                    slots.lock()[idx] = Some((
+                                        PreplayedTx::new(tx.clone(), outcome, order),
+                                        tx_started.elapsed(),
+                                    ));
+                                    if attempts > 1 {
+                                        reexecutions
+                                            .fetch_add(attempts - 1, Ordering::Relaxed);
+                                    }
+                                    break;
+                                }
+                                Err(err) => {
+                                    debug_assert!(err.is_abort());
+                                    // No-wait: drop every lock and retry.
+                                    table.release_all(idx);
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        let slots = slots.into_inner();
+        let mut preplayed = Vec::with_capacity(txs.len());
+        let mut total_latency = Duration::ZERO;
+        let mut logical_rejections = 0;
+        for slot in slots.into_iter().flatten() {
+            total_latency += slot.1;
+            if slot.0.outcome.logically_aborted {
+                logical_rejections += 1;
+            }
+            preplayed.push(slot.0);
+        }
+        preplayed.sort_by_key(|p| p.order);
+        BatchResult {
+            preplayed,
+            reexecutions: reexecutions.into_inner(),
+            logical_rejections,
+            elapsed: started.elapsed(),
+            total_latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_contracts::SMALLBANK_DEFAULT_BALANCE;
+    use tb_types::{ClientId, ContractCall, SimTime, SmallBankProcedure, TxId};
+
+    fn payment(id: u64, from: u64, to: u64, amount: i64) -> Transaction {
+        Transaction::new(
+            TxId::new(id),
+            ClientId::new(0),
+            ContractCall::SmallBank(SmallBankProcedure::SendPayment { from, to, amount }),
+            1,
+            SimTime::ZERO,
+        )
+    }
+
+    fn two_pl(executors: usize) -> TwoPlNoWaitExecutor {
+        TwoPlNoWaitExecutor::new(CeConfig::new(executors, 512).without_synthetic_cost())
+    }
+
+    fn funded_store(accounts: u64) -> MemStore {
+        let store = MemStore::new();
+        store.load(tb_workload::initial_smallbank_state(
+            accounts,
+            SMALLBANK_DEFAULT_BALANCE,
+        ));
+        store
+    }
+
+    #[test]
+    fn lock_table_grants_and_blocks() {
+        let table = LockTable::new();
+        let k = Key::scratch(1);
+        assert!(table.lock_shared(k, 0));
+        assert!(table.lock_shared(k, 1), "shared locks are compatible");
+        assert!(!table.lock_exclusive(k, 2), "exclusive blocked by readers");
+        table.release_all(1);
+        assert!(!table.lock_exclusive(k, 2), "still blocked by reader 0");
+        table.release_all(0);
+        assert!(table.lock_exclusive(k, 2));
+        assert!(!table.lock_shared(k, 0), "shared blocked by writer");
+        assert!(table.lock_exclusive(k, 2), "re-acquire by owner is fine");
+        table.release_all(2);
+        assert!(table.lock_shared(k, 0));
+    }
+
+    #[test]
+    fn upgrade_from_sole_shared_holder_succeeds() {
+        let table = LockTable::new();
+        let k = Key::scratch(9);
+        assert!(table.lock_shared(k, 5));
+        assert!(table.lock_exclusive(k, 5));
+        assert!(!table.lock_shared(k, 6));
+    }
+
+    #[test]
+    fn commits_everything_and_conserves_money_under_contention() {
+        let store = funded_store(2);
+        let initial = store.stats().int_sum;
+        let txs: Vec<Transaction> = (0..64).map(|i| payment(i, 0, 1, 1)).collect();
+        let result = two_pl(8).execute_batch(&txs, &store);
+        assert_eq!(result.committed(), 64);
+        assert_eq!(store.stats().int_sum, initial);
+        assert_eq!(
+            store.get(&Key::checking(0)),
+            Value::int(SMALLBANK_DEFAULT_BALANCE - 64)
+        );
+    }
+
+    #[test]
+    fn no_contention_means_no_reexecutions() {
+        let store = funded_store(64);
+        let txs: Vec<Transaction> = (0..32)
+            .map(|i| payment(i, i * 2, i * 2 + 1, 1))
+            .collect();
+        let result = two_pl(4).execute_batch(&txs, &store);
+        assert_eq!(result.reexecutions, 0);
+        assert_eq!(result.committed(), 32);
+    }
+
+    #[test]
+    fn empty_batch_short_circuits() {
+        let store = funded_store(1);
+        let result = two_pl(4).execute_batch(&[], &store);
+        assert_eq!(result.committed(), 0);
+    }
+}

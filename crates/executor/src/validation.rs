@@ -1,0 +1,387 @@
+//! Post-consensus validation of preplayed blocks (paper Section 4).
+//!
+//! When a replica receives a block through the DAG it does not trust the
+//! proposer's preplay results: it rebuilds the dependency structure from the
+//! read/write sets declared in the block and re-executes every transaction
+//! *in parallel*, each against a read view assembled from the declared write
+//! sets of the transactions ordered before it (and committed storage below
+//! that). A block is valid iff every transaction's re-executed read set,
+//! write set and result match what the block declares. Invalid blocks are
+//! discarded.
+
+use crate::traits::synthetic_work;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use tb_contracts::{execute_call, ExecError, StateAccess, TrackingState};
+use tb_storage::KvRead;
+use tb_types::{Key, PreplayedTx, TxId, Value};
+
+/// Configuration of the validation pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ValidationConfig {
+    /// Number of validator workers re-executing transactions in parallel
+    /// (the paper's system evaluation uses 16).
+    pub validators: usize,
+    /// Synthetic per-operation cost, matching the executors.
+    pub op_cost_ns: u64,
+}
+
+impl Default for ValidationConfig {
+    fn default() -> Self {
+        ValidationConfig {
+            validators: 16,
+            op_cost_ns: 0,
+        }
+    }
+}
+
+impl ValidationConfig {
+    /// Creates a config with the given parallelism and no synthetic cost.
+    pub fn new(validators: usize) -> Self {
+        ValidationConfig {
+            validators,
+            op_cost_ns: 0,
+        }
+    }
+}
+
+/// Result of validating one block.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Number of transactions re-executed.
+    pub checked: usize,
+    /// Transactions whose re-execution disagreed with the declared outcome.
+    pub mismatches: Vec<TxId>,
+}
+
+impl ValidationReport {
+    /// True if every transaction validated successfully.
+    pub fn is_valid(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// The per-key timeline of declared writes, ordered by the block's serialized
+/// order. A transaction's read of a key resolves to the latest declared write
+/// before it, or to committed storage if there is none.
+struct WriteTimeline {
+    per_key: HashMap<Key, Vec<(u32, Value)>>,
+}
+
+impl WriteTimeline {
+    fn build(preplayed: &[PreplayedTx]) -> Self {
+        let mut per_key: HashMap<Key, Vec<(u32, Value)>> = HashMap::new();
+        for p in preplayed {
+            for rec in &p.outcome.write_set {
+                per_key
+                    .entry(rec.key)
+                    .or_default()
+                    .push((p.order, rec.value.clone()));
+            }
+        }
+        for timeline in per_key.values_mut() {
+            timeline.sort_by_key(|(order, _)| *order);
+        }
+        WriteTimeline { per_key }
+    }
+
+    /// The value a transaction at `order` should observe for `key`, if any
+    /// transaction before it wrote the key.
+    fn value_before(&self, key: &Key, order: u32) -> Option<Value> {
+        let timeline = self.per_key.get(key)?;
+        timeline
+            .iter()
+            .take_while(|(o, _)| *o < order)
+            .last()
+            .map(|(_, v)| v.clone())
+    }
+
+    /// The final value of a key after the whole block, if written.
+    fn final_value(&self, key: &Key) -> Option<Value> {
+        self.per_key
+            .get(key)
+            .and_then(|timeline| timeline.last().map(|(_, v)| v.clone()))
+    }
+}
+
+/// Read view of one transaction during validation.
+struct ValidationSession<'a> {
+    base: &'a (dyn KvRead + Sync),
+    timeline: &'a WriteTimeline,
+    order: u32,
+    local_writes: HashMap<Key, Value>,
+    op_cost: u64,
+}
+
+impl StateAccess for ValidationSession<'_> {
+    fn read(&mut self, key: Key) -> Result<Value, ExecError> {
+        synthetic_work(self.op_cost);
+        if let Some(local) = self.local_writes.get(&key) {
+            return Ok(local.clone());
+        }
+        if let Some(value) = self.timeline.value_before(&key, self.order) {
+            return Ok(value);
+        }
+        Ok(self.base.get(&key))
+    }
+
+    fn write(&mut self, key: Key, value: Value) -> Result<(), ExecError> {
+        synthetic_work(self.op_cost);
+        self.local_writes.insert(key, value);
+        Ok(())
+    }
+}
+
+/// Validates the single-shard payload of a block: re-executes every
+/// transaction in parallel against the declared dependency structure and
+/// checks that read sets, write sets and results match the declaration.
+pub fn validate_block(
+    preplayed: &[PreplayedTx],
+    base: &(dyn KvRead + Sync),
+    config: &ValidationConfig,
+) -> ValidationReport {
+    if preplayed.is_empty() {
+        return ValidationReport::default();
+    }
+    let timeline = WriteTimeline::build(preplayed);
+    let mismatches: Mutex<Vec<TxId>> = Mutex::new(Vec::new());
+    let workers = config.validators.max(1).min(preplayed.len());
+    let chunk_size = preplayed.len().div_ceil(workers);
+    let op_cost = config.op_cost_ns;
+
+    std::thread::scope(|scope| {
+        let timeline = &timeline;
+        let mismatches = &mismatches;
+        for chunk in preplayed.chunks(chunk_size) {
+            scope.spawn(move || {
+                for p in chunk {
+                    if !revalidate_one(p, base, timeline, op_cost) {
+                        mismatches.lock().push(p.tx.id);
+                    }
+                }
+            });
+        }
+    });
+
+    let mut mismatches = mismatches.into_inner();
+    mismatches.sort_unstable();
+    ValidationReport {
+        checked: preplayed.len(),
+        mismatches,
+    }
+}
+
+fn revalidate_one(
+    p: &PreplayedTx,
+    base: &(dyn KvRead + Sync),
+    timeline: &WriteTimeline,
+    op_cost: u64,
+) -> bool {
+    let session = ValidationSession {
+        base,
+        timeline,
+        order: p.order,
+        local_writes: HashMap::new(),
+        op_cost,
+    };
+    let mut tracking = TrackingState::new(session);
+    let Ok(result) = execute_call(&p.tx.call, &mut tracking) else {
+        return false;
+    };
+    let (outcome, _) = tracking.finish();
+    same_access_set(&outcome.read_set, &p.outcome.read_set)
+        && same_access_set(&outcome.write_set, &p.outcome.write_set)
+        && result.return_value == p.outcome.return_value
+        && result.logically_aborted == p.outcome.logically_aborted
+}
+
+/// Order-insensitive comparison of access sets.
+fn same_access_set(a: &[tb_types::AccessRecord], b: &[tb_types::AccessRecord]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter()
+        .all(|rec| b.iter().any(|other| other.key == rec.key && other.value == rec.value))
+}
+
+/// Computes the state the block leaves behind: for every written key the last
+/// declared value in serialized order. This is what the commit path applies
+/// to storage once the block validates.
+pub fn final_writes(preplayed: &[PreplayedTx]) -> Vec<(Key, Value)> {
+    let timeline = WriteTimeline::build(preplayed);
+    let mut keys: Vec<Key> = timeline.per_key.keys().copied().collect();
+    keys.sort_unstable();
+    keys.into_iter()
+        .map(|k| {
+            let value = timeline.final_value(&k).expect("key taken from timeline");
+            (k, value)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ce::ConcurrentExecutor;
+    use crate::serial::SerialExecutor;
+    use crate::traits::BatchExecutor;
+    use tb_contracts::SMALLBANK_DEFAULT_BALANCE;
+    use tb_storage::MemStore;
+    use tb_types::{
+        CeConfig, ClientId, ContractCall, SimTime, SmallBankProcedure, Transaction, TxId,
+    };
+    use tb_workload::{SmallBankConfig, SmallBankWorkload};
+
+    fn funded_store(accounts: u64) -> MemStore {
+        let store = MemStore::new();
+        store.load(tb_workload::initial_smallbank_state(
+            accounts,
+            SMALLBANK_DEFAULT_BALANCE,
+        ));
+        store
+    }
+
+    fn smallbank_batch(accounts: u64, n: usize) -> Vec<Transaction> {
+        let cfg = SmallBankConfig {
+            accounts,
+            theta: 0.9,
+            pr_read: 0.3,
+            n_shards: 1,
+            ..SmallBankConfig::default()
+        };
+        SmallBankWorkload::new(cfg).batch(n, SimTime::ZERO)
+    }
+
+    #[test]
+    fn empty_block_is_trivially_valid() {
+        let store = MemStore::new();
+        let report = validate_block(&[], &store, &ValidationConfig::default());
+        assert!(report.is_valid());
+        assert_eq!(report.checked, 0);
+    }
+
+    #[test]
+    fn honest_preplay_from_the_concurrent_executor_validates() {
+        let store = funded_store(32);
+        let txs = smallbank_batch(32, 120);
+        let ce = ConcurrentExecutor::new(CeConfig::new(8, 512).without_synthetic_cost());
+        let result = ce.preplay(&txs, &store);
+        let report = validate_block(&result.preplayed, &store, &ValidationConfig::new(8));
+        assert!(report.is_valid(), "mismatches: {:?}", report.mismatches);
+        assert_eq!(report.checked, txs.len());
+    }
+
+    #[test]
+    fn honest_serial_execution_validates() {
+        let store = funded_store(16);
+        let exec_store = funded_store(16);
+        let txs = smallbank_batch(16, 60);
+        let result = SerialExecutor::new().execute_batch(&txs, &exec_store);
+        let report = validate_block(&result.preplayed, &store, &ValidationConfig::new(4));
+        assert!(report.is_valid());
+    }
+
+    #[test]
+    fn tampered_write_set_is_detected() {
+        let store = funded_store(8);
+        let txs = smallbank_batch(8, 30);
+        let ce = ConcurrentExecutor::new(CeConfig::new(4, 512).without_synthetic_cost());
+        let mut result = ce.preplay(&txs, &store);
+        // A malicious proposer inflates one balance.
+        let victim = result
+            .preplayed
+            .iter_mut()
+            .find(|p| !p.outcome.write_set.is_empty())
+            .expect("some transaction writes");
+        victim.outcome.write_set[0].value = Value::int(9_999_999);
+        let tampered_id = victim.tx.id;
+        let report = validate_block(&result.preplayed, &store, &ValidationConfig::new(4));
+        assert!(!report.is_valid());
+        assert!(report.mismatches.contains(&tampered_id));
+    }
+
+    #[test]
+    fn tampered_read_set_is_detected() {
+        let store = funded_store(8);
+        let txs = smallbank_batch(8, 30);
+        let ce = ConcurrentExecutor::new(CeConfig::new(4, 512).without_synthetic_cost());
+        let mut result = ce.preplay(&txs, &store);
+        let victim = result
+            .preplayed
+            .iter_mut()
+            .find(|p| !p.outcome.read_set.is_empty())
+            .expect("some transaction reads");
+        victim.outcome.read_set[0].value = Value::int(-1);
+        let tampered_id = victim.tx.id;
+        let report = validate_block(&result.preplayed, &store, &ValidationConfig::new(4));
+        assert!(!report.is_valid());
+        assert!(report.mismatches.contains(&tampered_id));
+    }
+
+    #[test]
+    fn fabricated_return_value_is_detected() {
+        let store = funded_store(4);
+        let tx = Transaction::new(
+            TxId::new(1),
+            ClientId::new(0),
+            ContractCall::SmallBank(SmallBankProcedure::GetBalance { account: 0 }),
+            1,
+            SimTime::ZERO,
+        );
+        let ce = ConcurrentExecutor::new(CeConfig::new(1, 8).without_synthetic_cost());
+        let mut result = ce.preplay(std::slice::from_ref(&tx), &store);
+        result.preplayed[0].outcome.return_value = Value::int(123);
+        let report = validate_block(&result.preplayed, &store, &ValidationConfig::new(1));
+        assert!(!report.is_valid());
+    }
+
+    #[test]
+    fn final_writes_reflect_the_last_write_per_key() {
+        let store = funded_store(4);
+        let txs = vec![
+            Transaction::new(
+                TxId::new(1),
+                ClientId::new(0),
+                ContractCall::SmallBank(SmallBankProcedure::DepositChecking {
+                    account: 0,
+                    amount: 10,
+                }),
+                1,
+                SimTime::ZERO,
+            ),
+            Transaction::new(
+                TxId::new(2),
+                ClientId::new(0),
+                ContractCall::SmallBank(SmallBankProcedure::DepositChecking {
+                    account: 0,
+                    amount: 5,
+                }),
+                1,
+                SimTime::ZERO,
+            ),
+        ];
+        let ce = ConcurrentExecutor::new(CeConfig::new(2, 8).without_synthetic_cost());
+        let result = ce.preplay(&txs, &store);
+        let finals = final_writes(&result.preplayed);
+        assert_eq!(finals.len(), 1);
+        assert_eq!(finals[0].0, tb_types::Key::checking(0));
+        assert_eq!(
+            finals[0].1,
+            Value::int(SMALLBANK_DEFAULT_BALANCE + 15),
+            "both deposits must be reflected in the final value"
+        );
+    }
+
+    #[test]
+    fn validation_matches_regardless_of_worker_count() {
+        let store = funded_store(16);
+        let txs = smallbank_batch(16, 80);
+        let ce = ConcurrentExecutor::new(CeConfig::new(4, 512).without_synthetic_cost());
+        let result = ce.preplay(&txs, &store);
+        for validators in [1, 2, 7, 32] {
+            let report =
+                validate_block(&result.preplayed, &store, &ValidationConfig::new(validators));
+            assert!(report.is_valid(), "failed with {validators} validators");
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! The discrete-event network simulator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use tb_types::{LatencyModel, ReplicaId, SimTime};
+
+/// An event surfaced to the cluster driver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetEvent<M> {
+    /// A message delivered to a replica.
+    Message {
+        /// Sender.
+        from: ReplicaId,
+        /// Receiver.
+        to: ReplicaId,
+        /// The payload.
+        msg: M,
+    },
+    /// A timer armed by a replica has fired.
+    Timer {
+        /// The replica whose timer fired.
+        replica: ReplicaId,
+        /// The token passed when the timer was armed.
+        token: u64,
+    },
+}
+
+/// Aggregate statistics of a simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Messages handed to the network.
+    pub sent: u64,
+    /// Messages delivered to their destination.
+    pub delivered: u64,
+    /// Messages dropped by faults (crashes, silenced senders, partitions,
+    /// random loss).
+    pub dropped: u64,
+    /// Timers fired.
+    pub timers_fired: u64,
+}
+
+#[derive(Debug)]
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    event: NetEvent<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event network connecting `n` simulated replicas.
+#[derive(Debug)]
+pub struct SimNetwork<M> {
+    n: u32,
+    latency: LatencyModel,
+    rng: StdRng,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    now: SimTime,
+    next_seq: u64,
+    crashed: HashSet<ReplicaId>,
+    silenced: HashSet<ReplicaId>,
+    blocked_links: HashSet<(ReplicaId, ReplicaId)>,
+    drop_probability: f64,
+    stats: NetworkStats,
+}
+
+impl<M> SimNetwork<M> {
+    /// Creates a network for `n` replicas with the given latency model and
+    /// RNG seed (the seed makes latency jitter and random loss
+    /// reproducible).
+    pub fn new(n: u32, latency: LatencyModel, seed: u64) -> Self {
+        SimNetwork {
+            n,
+            latency,
+            rng: StdRng::seed_from_u64(seed),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            crashed: HashSet::new(),
+            silenced: HashSet::new(),
+            blocked_links: HashSet::new(),
+            drop_probability: 0.0,
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of replicas attached to the network.
+    pub fn size(&self) -> u32 {
+        self.n
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// Marks a replica as crashed: nothing is delivered to or sent from it
+    /// any more.
+    pub fn crash(&mut self, replica: ReplicaId) {
+        self.crashed.insert(replica);
+    }
+
+    /// Undoes [`Self::crash`]. Messages dropped while crashed are not
+    /// replayed.
+    pub fn recover(&mut self, replica: ReplicaId) {
+        self.crashed.remove(&replica);
+    }
+
+    /// True if the replica is currently crashed.
+    pub fn is_crashed(&self, replica: ReplicaId) -> bool {
+        self.crashed.contains(&replica)
+    }
+
+    /// Silences a replica: messages *from* it are dropped (it still receives
+    /// traffic). This models a censoring proposer that stops disseminating
+    /// its blocks.
+    pub fn silence(&mut self, replica: ReplicaId) {
+        self.silenced.insert(replica);
+    }
+
+    /// Undoes [`Self::silence`].
+    pub fn unsilence(&mut self, replica: ReplicaId) {
+        self.silenced.remove(&replica);
+    }
+
+    /// Blocks the directed link `from -> to`.
+    pub fn block_link(&mut self, from: ReplicaId, to: ReplicaId) {
+        self.blocked_links.insert((from, to));
+    }
+
+    /// Unblocks the directed link `from -> to`.
+    pub fn unblock_link(&mut self, from: ReplicaId, to: ReplicaId) {
+        self.blocked_links.remove(&(from, to));
+    }
+
+    /// Sets the probability that any individual message is lost.
+    pub fn set_drop_probability(&mut self, p: f64) {
+        self.drop_probability = p.clamp(0.0, 1.0);
+    }
+
+    fn sample_latency(&mut self) -> SimTime {
+        match self.latency {
+            LatencyModel::Instant => SimTime::ZERO,
+            LatencyModel::Fixed { micros } => SimTime::from_micros(micros),
+            LatencyModel::Jittered {
+                base_micros,
+                jitter_micros,
+            } => {
+                let low = base_micros.saturating_sub(jitter_micros);
+                let high = base_micros + jitter_micros;
+                SimTime::from_micros(self.rng.gen_range(low..=high))
+            }
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, event: NetEvent<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Sends a message from `from` to `to`, applying faults and latency.
+    pub fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: M) {
+        self.send_delayed(from, to, msg, SimTime::ZERO);
+    }
+
+    /// Sends a message whose emission is delayed by `extra` beyond the
+    /// current simulated time (used to model the sender being busy executing
+    /// transactions when it produced the message).
+    pub fn send_delayed(&mut self, from: ReplicaId, to: ReplicaId, msg: M, extra: SimTime) {
+        self.stats.sent += 1;
+        if self.crashed.contains(&from)
+            || self.crashed.contains(&to)
+            || self.silenced.contains(&from)
+            || self.blocked_links.contains(&(from, to))
+            || (self.drop_probability > 0.0 && self.rng.gen::<f64>() < self.drop_probability)
+        {
+            self.stats.dropped += 1;
+            return;
+        }
+        let latency = if from == to {
+            SimTime::ZERO
+        } else {
+            self.sample_latency()
+        };
+        let at = self.now + extra + latency;
+        self.schedule(at, NetEvent::Message { from, to, msg });
+    }
+
+    /// Arms a timer for `replica` that fires after `delay`.
+    pub fn set_timer(&mut self, replica: ReplicaId, token: u64, delay: SimTime) {
+        let at = self.now + delay;
+        self.schedule(at, NetEvent::Timer { replica, token });
+    }
+
+    /// Pops the next event, advancing the simulated clock to its timestamp.
+    /// Events addressed to crashed replicas are skipped (and counted as
+    /// dropped).
+    pub fn next_event(&mut self) -> Option<(SimTime, NetEvent<M>)> {
+        while let Some(Reverse(scheduled)) = self.queue.pop() {
+            self.now = self.now.max(scheduled.at);
+            match &scheduled.event {
+                NetEvent::Message { to, .. } => {
+                    if self.crashed.contains(to) {
+                        self.stats.dropped += 1;
+                        continue;
+                    }
+                    self.stats.delivered += 1;
+                }
+                NetEvent::Timer { replica, .. } => {
+                    if self.crashed.contains(replica) {
+                        continue;
+                    }
+                    self.stats.timers_fired += 1;
+                }
+            }
+            return Some((scheduled.at, scheduled.event));
+        }
+        None
+    }
+
+    /// True if no events are pending.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl<M: Clone> SimNetwork<M> {
+    /// Broadcasts a message from `from` to every replica (including itself,
+    /// which models the local loop-back delivery DAG protocols rely on).
+    pub fn broadcast(&mut self, from: ReplicaId, msg: M) {
+        self.broadcast_delayed(from, msg, SimTime::ZERO);
+    }
+
+    /// Broadcasts with an extra emission delay (see [`Self::send_delayed`]).
+    pub fn broadcast_delayed(&mut self, from: ReplicaId, msg: M, extra: SimTime) {
+        for to in 0..self.n {
+            self.send_delayed(from, ReplicaId::new(to), msg.clone(), extra);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Net = SimNetwork<&'static str>;
+
+    fn lan() -> Net {
+        SimNetwork::new(4, LatencyModel::lan(), 7)
+    }
+
+    #[test]
+    fn events_are_delivered_in_timestamp_order() {
+        let mut net: Net = SimNetwork::new(2, LatencyModel::Instant, 1);
+        net.set_timer(ReplicaId::new(0), 1, SimTime::from_millis(5));
+        net.set_timer(ReplicaId::new(0), 2, SimTime::from_millis(1));
+        net.send(ReplicaId::new(0), ReplicaId::new(1), "hello");
+        let mut order = Vec::new();
+        while let Some((at, event)) = net.next_event() {
+            order.push((at, event));
+        }
+        assert_eq!(order.len(), 3);
+        assert!(order.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(matches!(order[0].1, NetEvent::Message { .. }));
+        assert!(matches!(order[1].1, NetEvent::Timer { token: 2, .. }));
+        assert!(matches!(order[2].1, NetEvent::Timer { token: 1, .. }));
+        assert!(net.is_idle());
+    }
+
+    #[test]
+    fn latency_advances_the_clock() {
+        let mut net: Net = SimNetwork::new(2, LatencyModel::Fixed { micros: 500 }, 1);
+        net.send(ReplicaId::new(0), ReplicaId::new(1), "x");
+        let (at, _) = net.next_event().unwrap();
+        assert_eq!(at, SimTime::from_micros(500));
+        assert_eq!(net.now(), SimTime::from_micros(500));
+    }
+
+    #[test]
+    fn self_sends_are_immediate() {
+        let mut net = lan();
+        net.send(ReplicaId::new(2), ReplicaId::new(2), "loopback");
+        let (at, _) = net.next_event().unwrap();
+        assert_eq!(at, SimTime::ZERO);
+    }
+
+    #[test]
+    fn crashed_replicas_neither_send_nor_receive() {
+        let mut net = lan();
+        net.crash(ReplicaId::new(1));
+        assert!(net.is_crashed(ReplicaId::new(1)));
+        net.send(ReplicaId::new(1), ReplicaId::new(0), "from crashed");
+        net.send(ReplicaId::new(0), ReplicaId::new(1), "to crashed");
+        assert!(net.next_event().is_none());
+        assert_eq!(net.stats().dropped, 2);
+        net.recover(ReplicaId::new(1));
+        net.send(ReplicaId::new(1), ReplicaId::new(0), "after recovery");
+        assert!(net.next_event().is_some());
+    }
+
+    #[test]
+    fn silenced_replicas_still_receive() {
+        let mut net = lan();
+        net.silence(ReplicaId::new(0));
+        net.send(ReplicaId::new(0), ReplicaId::new(1), "censored");
+        net.send(ReplicaId::new(1), ReplicaId::new(0), "inbound");
+        let mut delivered = 0;
+        while net.next_event().is_some() {
+            delivered += 1;
+        }
+        assert_eq!(delivered, 1);
+        net.unsilence(ReplicaId::new(0));
+        net.send(ReplicaId::new(0), ReplicaId::new(1), "now audible");
+        assert!(net.next_event().is_some());
+    }
+
+    #[test]
+    fn blocked_links_are_directional() {
+        let mut net = lan();
+        net.block_link(ReplicaId::new(0), ReplicaId::new(1));
+        net.send(ReplicaId::new(0), ReplicaId::new(1), "blocked");
+        net.send(ReplicaId::new(1), ReplicaId::new(0), "open");
+        let mut received = Vec::new();
+        while let Some((_, NetEvent::Message { msg, .. })) = net.next_event() {
+            received.push(msg);
+        }
+        assert_eq!(received, vec!["open"]);
+        net.unblock_link(ReplicaId::new(0), ReplicaId::new(1));
+        net.send(ReplicaId::new(0), ReplicaId::new(1), "unblocked");
+        assert!(net.next_event().is_some());
+    }
+
+    #[test]
+    fn broadcast_reaches_every_replica_including_self() {
+        let mut net = lan();
+        net.broadcast(ReplicaId::new(0), "hi");
+        let mut recipients = Vec::new();
+        while let Some((_, NetEvent::Message { to, .. })) = net.next_event() {
+            recipients.push(to.as_inner());
+        }
+        recipients.sort_unstable();
+        assert_eq!(recipients, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn random_loss_drops_roughly_the_requested_fraction() {
+        let mut net: Net = SimNetwork::new(2, LatencyModel::Instant, 99);
+        net.set_drop_probability(0.5);
+        for _ in 0..1_000 {
+            net.send(ReplicaId::new(0), ReplicaId::new(1), "maybe");
+        }
+        let dropped = net.stats().dropped as f64;
+        assert!((dropped / 1_000.0 - 0.5).abs() < 0.08, "dropped {dropped}");
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let run = |seed: u64| {
+            let mut net: Net = SimNetwork::new(4, LatencyModel::wan(), seed);
+            for i in 0..20u32 {
+                net.send(ReplicaId::new(i % 4), ReplicaId::new((i + 1) % 4), "m");
+            }
+            let mut times = Vec::new();
+            while let Some((at, _)) = net.next_event() {
+                times.push(at);
+            }
+            times
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn stats_count_sent_delivered_and_timers() {
+        let mut net = lan();
+        net.send(ReplicaId::new(0), ReplicaId::new(1), "a");
+        net.set_timer(ReplicaId::new(2), 9, SimTime::from_millis(1));
+        while net.next_event().is_some() {}
+        let stats = net.stats();
+        assert_eq!(stats.sent, 1);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.timers_fired, 1);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(net.pending(), 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Versioned in-memory key-value store.
+//!
+//! The paper stores account balances in LevelDB; this reproduction
+//! substitutes an in-memory, concurrently readable store (see DESIGN.md,
+//! "Substitutions"). The store keeps a *version counter per key*, which the
+//! OCC baseline relies on for validation, and supports atomic write batches
+//! and point-in-time snapshots, which the Thunderbolt commit path uses to
+//! apply validated preplay results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod mem;
+pub mod snapshot;
+pub mod traits;
+
+pub use batch::WriteBatch;
+pub use mem::{MemStore, StoreStats};
+pub use snapshot::Snapshot;
+pub use traits::{KvRead, KvWrite, Versioned};

@@ -1,0 +1,283 @@
+//! Operations, access records and execution outcomes.
+//!
+//! A contract interacts with the state through `<Read, K>` and
+//! `<Write, K, V>` operations (paper Section 3.1). Executing a transaction
+//! produces an [`ExecOutcome`]: the read set (with the values observed), the
+//! write set (with the values produced) and an optional return value. The
+//! outcome is exactly what a shard proposer ships inside a block so that the
+//! other replicas can validate the preplay (paper Section 4, "Validation").
+
+use crate::key::Key;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Kind of a state operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// `<Read, K>`: observe the current value of a key.
+    Read,
+    /// `<Write, K, V>`: replace the value of a key.
+    Write,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Read => f.write_str("R"),
+            OpKind::Write => f.write_str("W"),
+        }
+    }
+}
+
+/// A single state operation issued by an executing contract.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Operation {
+    /// Read the value stored under `key`.
+    Read {
+        /// Key to read.
+        key: Key,
+    },
+    /// Write `value` under `key`.
+    Write {
+        /// Key to write.
+        key: Key,
+        /// New value.
+        value: Value,
+    },
+}
+
+impl Operation {
+    /// Creates a read operation.
+    pub const fn read(key: Key) -> Self {
+        Operation::Read { key }
+    }
+
+    /// Creates a write operation.
+    pub const fn write(key: Key, value: Value) -> Self {
+        Operation::Write { key, value }
+    }
+
+    /// The key this operation touches.
+    pub const fn key(&self) -> Key {
+        match self {
+            Operation::Read { key } | Operation::Write { key, .. } => *key,
+        }
+    }
+
+    /// The kind of the operation.
+    pub const fn kind(&self) -> OpKind {
+        match self {
+            Operation::Read { .. } => OpKind::Read,
+            Operation::Write { .. } => OpKind::Write,
+        }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operation::Read { key } => write!(f, "(R, {key})"),
+            Operation::Write { key, value } => write!(f, "(W, {key}, {value})"),
+        }
+    }
+}
+
+/// Whether an access observed or produced the associated value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// The value was read.
+    Read,
+    /// The value was written.
+    Write,
+}
+
+/// One entry of a read or write set: the key together with the value that was
+/// observed (reads) or produced (writes) during preplay.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessRecord {
+    /// The accessed key.
+    pub key: Key,
+    /// The observed / produced value.
+    pub value: Value,
+}
+
+impl AccessRecord {
+    /// Creates an access record.
+    pub const fn new(key: Key, value: Value) -> Self {
+        AccessRecord { key, value }
+    }
+}
+
+impl fmt::Display for AccessRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.key, self.value)
+    }
+}
+
+/// Read set of a transaction: each key read exactly once, with the value the
+/// preplay observed for it (the *first* read per key, matching the dependency
+/// graph's "first read" rule in Section 8.1).
+pub type ReadSet = Vec<AccessRecord>;
+
+/// Write set of a transaction: the *final* value written per key.
+pub type WriteSet = Vec<AccessRecord>;
+
+/// The result of executing (or preplaying) one transaction.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecOutcome {
+    /// Keys read and the values observed.
+    pub read_set: ReadSet,
+    /// Keys written and the final values produced.
+    pub write_set: WriteSet,
+    /// Optional return value of the contract (e.g. the balance returned by
+    /// SmallBank's `GetBalance`).
+    pub return_value: Value,
+    /// Whether the contract logic itself decided to abort (e.g. insufficient
+    /// funds). Such transactions still commit as no-ops so that every
+    /// submitted transaction receives a response (liveness), mirroring how
+    /// the paper's SmallBank workload treats application-level aborts.
+    pub logically_aborted: bool,
+}
+
+impl ExecOutcome {
+    /// Creates an empty outcome (no accesses, `None` return value).
+    pub fn empty() -> Self {
+        ExecOutcome::default()
+    }
+
+    /// Records a read of `key` observing `value`, keeping only the first read
+    /// per key.
+    pub fn record_read(&mut self, key: Key, value: Value) {
+        if !self.read_set.iter().any(|r| r.key == key) {
+            self.read_set.push(AccessRecord::new(key, value));
+        }
+    }
+
+    /// Records a write of `value` to `key`, keeping only the last write per
+    /// key.
+    pub fn record_write(&mut self, key: Key, value: Value) {
+        if let Some(existing) = self.write_set.iter_mut().find(|r| r.key == key) {
+            existing.value = value;
+        } else {
+            self.write_set.push(AccessRecord::new(key, value));
+        }
+    }
+
+    /// The value read for `key`, if any.
+    pub fn read_value(&self, key: &Key) -> Option<&Value> {
+        self.read_set.iter().find(|r| r.key == *key).map(|r| &r.value)
+    }
+
+    /// The value written to `key`, if any.
+    pub fn written_value(&self, key: &Key) -> Option<&Value> {
+        self.write_set
+            .iter()
+            .find(|r| r.key == *key)
+            .map(|r| &r.value)
+    }
+
+    /// Every key touched by the transaction (reads and writes, deduplicated).
+    pub fn touched_keys(&self) -> Vec<Key> {
+        let mut keys: Vec<Key> = self
+            .read_set
+            .iter()
+            .chain(self.write_set.iter())
+            .map(|r| r.key)
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// Returns true if the outcome writes to `key`.
+    pub fn writes(&self, key: &Key) -> bool {
+        self.write_set.iter().any(|r| r.key == *key)
+    }
+
+    /// Returns true if the outcome reads `key`.
+    pub fn reads(&self, key: &Key) -> bool {
+        self.read_set.iter().any(|r| r.key == *key)
+    }
+
+    /// True when two outcomes conflict: they touch a common key and at least
+    /// one of the two accesses is a write.
+    pub fn conflicts_with(&self, other: &ExecOutcome) -> bool {
+        for key in self.touched_keys() {
+            let self_writes = self.writes(&key);
+            let other_writes = other.writes(&key);
+            let other_touches = other_writes || other.reads(&key);
+            if other_touches && (self_writes || other_writes) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(row: u64) -> Key {
+        Key::scratch(row)
+    }
+
+    #[test]
+    fn operation_accessors() {
+        let r = Operation::read(k(1));
+        let w = Operation::write(k(2), Value::int(5));
+        assert_eq!(r.key(), k(1));
+        assert_eq!(r.kind(), OpKind::Read);
+        assert_eq!(w.key(), k(2));
+        assert_eq!(w.kind(), OpKind::Write);
+        assert_eq!(r.to_string(), "(R, scratch/1)");
+        assert_eq!(w.to_string(), "(W, scratch/2, 5)");
+    }
+
+    #[test]
+    fn outcome_keeps_first_read_and_last_write() {
+        let mut out = ExecOutcome::empty();
+        out.record_read(k(1), Value::int(3));
+        out.record_read(k(1), Value::int(99));
+        out.record_write(k(1), Value::int(4));
+        out.record_write(k(1), Value::int(5));
+        assert_eq!(out.read_value(&k(1)), Some(&Value::int(3)));
+        assert_eq!(out.written_value(&k(1)), Some(&Value::int(5)));
+        assert_eq!(out.read_set.len(), 1);
+        assert_eq!(out.write_set.len(), 1);
+    }
+
+    #[test]
+    fn touched_keys_deduplicates() {
+        let mut out = ExecOutcome::empty();
+        out.record_read(k(1), Value::int(0));
+        out.record_write(k(1), Value::int(1));
+        out.record_write(k(2), Value::int(2));
+        assert_eq!(out.touched_keys(), vec![k(1), k(2)]);
+    }
+
+    #[test]
+    fn conflict_requires_a_write_on_a_shared_key() {
+        let mut read_only_a = ExecOutcome::empty();
+        read_only_a.record_read(k(1), Value::int(0));
+        let mut read_only_b = ExecOutcome::empty();
+        read_only_b.record_read(k(1), Value::int(0));
+        assert!(!read_only_a.conflicts_with(&read_only_b));
+
+        let mut writer = ExecOutcome::empty();
+        writer.record_write(k(1), Value::int(9));
+        assert!(read_only_a.conflicts_with(&writer));
+        assert!(writer.conflicts_with(&read_only_a));
+
+        let mut disjoint = ExecOutcome::empty();
+        disjoint.record_write(k(7), Value::int(1));
+        assert!(!disjoint.conflicts_with(&writer));
+    }
+
+    #[test]
+    fn access_record_display() {
+        let rec = AccessRecord::new(k(4), Value::int(2));
+        assert_eq!(rec.to_string(), "scratch/4=2");
+    }
+}

@@ -1,0 +1,144 @@
+//! Simulated time.
+//!
+//! The multi-replica experiments run on a discrete-event simulator
+//! (`tb-network`). All protocol timestamps — submission times, message
+//! delivery times, commit times — are expressed in [`SimTime`], a monotone
+//! microsecond counter, so latency and throughput figures are independent of
+//! the wall clock of the machine running the simulation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in microseconds since the start of the run.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a timestamp from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates a timestamp from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Creates a timestamp from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Creates a timestamp from a fractional number of seconds.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime((s.max(0.0) * 1_000_000.0).round() as u64)
+    }
+
+    /// Microseconds since the origin.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since the origin (fractional).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Seconds since the origin (fractional).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Elapsed time since `earlier`; zero if `earlier` is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two timestamps.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_millis(2).as_micros(), 2_000);
+        assert_eq!(SimTime::from_secs(3).as_micros(), 3_000_000);
+        assert!((SimTime::from_secs(1).as_secs_f64() - 1.0).abs() < 1e-9);
+        assert_eq!(SimTime::from_secs_f64(0.0015).as_micros(), 1_500);
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_is_saturating_on_subtraction() {
+        let a = SimTime::from_micros(10);
+        let b = SimTime::from_micros(4);
+        assert_eq!(a + b, SimTime::from_micros(14));
+        assert_eq!(a - b, SimTime::from_micros(6));
+        assert_eq!(b - a, SimTime::ZERO);
+        assert_eq!(b.saturating_since(a), SimTime::ZERO);
+        assert_eq!(a.saturating_since(b), SimTime::from_micros(6));
+    }
+
+    #[test]
+    fn display_picks_a_sensible_unit() {
+        assert_eq!(SimTime::from_micros(12).to_string(), "12us");
+        assert_eq!(SimTime::from_micros(2_500).to_string(), "2.500ms");
+        assert_eq!(SimTime::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn max_returns_the_later_timestamp() {
+        let a = SimTime::from_micros(5);
+        let b = SimTime::from_micros(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+}

@@ -1,0 +1,27 @@
+//! Workload generation for the Thunderbolt evaluation.
+//!
+//! The paper evaluates with the SmallBank benchmark: accounts are selected
+//! with a Zipfian distribution (skew parameter `θ`), the read/write mix is
+//! controlled by `Pr` (probability of the read-only `GetBalance`), and the
+//! system evaluation additionally designates a percentage `P` of transactions
+//! as cross-shard (Sections 11.2 and 12). This crate provides:
+//!
+//! * [`ZipfianGenerator`] — the YCSB-style Zipfian sampler (optionally
+//!   scrambled so the hottest keys spread over all shards),
+//! * [`SmallBankWorkload`] — a deterministic, seedable generator of SmallBank
+//!   transactions following the paper's parameters,
+//! * [`ContractWorkload`] — a mixed interpreter-program workload used by the
+//!   examples and extension benchmarks,
+//! * [`initial_smallbank_state`] — the initial balances loaded into every
+//!   replica's store.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contract;
+pub mod smallbank;
+pub mod zipf;
+
+pub use contract::{ContractWorkload, ContractWorkloadConfig};
+pub use smallbank::{initial_smallbank_state, SmallBankConfig, SmallBankWorkload};
+pub use zipf::ZipfianGenerator;

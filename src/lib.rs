@@ -1,0 +1,25 @@
+//! Workspace façade for the Thunderbolt reproduction.
+//!
+//! This crate only re-exports the public API of the member crates so the
+//! examples and integration tests at the repository root can use a single
+//! import path. The actual implementation lives in `crates/*`:
+//!
+//! * [`thunderbolt`] — the protocol (replicas, cluster simulation, commit
+//!   pipeline, reconfiguration),
+//! * [`tb_executor`] — the concurrent executor and the OCC / 2PL / serial
+//!   baselines,
+//! * [`tb_dag`] — the Tusk-style DAG substrate,
+//! * [`tb_network`] — the discrete-event network simulator,
+//! * [`tb_workload`] — SmallBank and contract workload generation,
+//! * [`tb_contracts`] — the contract runtime (SmallBank + interpreter),
+//! * [`tb_storage`] — the versioned in-memory store,
+//! * [`tb_types`] — shared types.
+
+pub use tb_contracts;
+pub use tb_dag;
+pub use tb_executor;
+pub use tb_network;
+pub use tb_storage;
+pub use tb_types;
+pub use tb_workload;
+pub use thunderbolt;

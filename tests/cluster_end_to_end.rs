@@ -1,0 +1,146 @@
+//! End-to-end integration tests of the full system: multiple replicas, the
+//! simulated network, SmallBank traffic, faults and reconfiguration.
+
+use tb_network::FaultPlan;
+use tb_types::{CeConfig, LatencyModel, ReconfigConfig, ReplicaId, SimTime};
+use tb_workload::SmallBankConfig;
+use thunderbolt::{ClusterConfig, ClusterSimulation, ExecutionMode};
+
+fn base_config(mode: ExecutionMode, n: u32, rounds: u64) -> ClusterConfig {
+    let mut config = ClusterConfig::thunderbolt(n);
+    config.mode = mode;
+    config.system.ce = CeConfig::new(2, 32).without_synthetic_cost();
+    config.system.validators = 2;
+    config.system.max_rounds = rounds;
+    config.system.latency = LatencyModel::Fixed { micros: 200 };
+    config
+}
+
+fn workload(n: u32, cross: f64) -> SmallBankConfig {
+    SmallBankConfig {
+        accounts: 128,
+        n_shards: n,
+        cross_shard_fraction: cross,
+        ..SmallBankConfig::default()
+    }
+}
+
+#[test]
+fn seven_replica_cluster_commits_and_agrees() {
+    let mut sim = ClusterSimulation::with_defaults(
+        base_config(ExecutionMode::Thunderbolt, 7, 10),
+        workload(7, 0.1),
+    );
+    let report = sim.run();
+    assert!(report.committed_txs > 0);
+    assert!(report.single_shard_txs > 0);
+    assert!(report.cross_shard_txs > 0);
+    // The run stops at an arbitrary event, so replicas may have delivered
+    // different *prefixes* of the committed sequence; safety means every
+    // replica's sequence of committed leader rounds is a prefix of the
+    // longest one.
+    let sequences: Vec<Vec<(u64, u64)>> = (0..7)
+        .map(|i| {
+            sim.replica(ReplicaId::new(i))
+                .metrics()
+                .round_commits
+                .iter()
+                .map(|s| (s.dag, s.round.as_u64()))
+                .collect()
+        })
+        .collect();
+    let longest = sequences
+        .iter()
+        .max_by_key(|s| s.len())
+        .expect("seven replicas")
+        .clone();
+    for (i, sequence) in sequences.iter().enumerate() {
+        assert!(
+            longest.starts_with(sequence),
+            "replica {i} committed a different sequence: {sequence:?} vs {longest:?}"
+        );
+    }
+}
+
+#[test]
+fn all_three_modes_commit_under_the_same_setup() {
+    for mode in [
+        ExecutionMode::Thunderbolt,
+        ExecutionMode::ThunderboltOcc,
+        ExecutionMode::Tusk,
+    ] {
+        let mut sim =
+            ClusterSimulation::with_defaults(base_config(mode, 4, 8), workload(4, 0.0));
+        let report = sim.run();
+        assert!(
+            report.committed_txs > 0,
+            "{} committed nothing",
+            mode.label()
+        );
+    }
+}
+
+#[test]
+fn wan_latency_slows_rounds_but_does_not_block_commits() {
+    let mut lan_cfg = base_config(ExecutionMode::Thunderbolt, 4, 8);
+    lan_cfg.system.latency = LatencyModel::lan();
+    let mut wan_cfg = base_config(ExecutionMode::Thunderbolt, 4, 8);
+    wan_cfg.system.latency = LatencyModel::wan();
+    let lan = ClusterSimulation::with_defaults(lan_cfg, workload(4, 0.0)).run();
+    let wan = ClusterSimulation::with_defaults(wan_cfg, workload(4, 0.0)).run();
+    assert!(lan.committed_txs > 0 && wan.committed_txs > 0);
+    assert!(
+        wan.duration > lan.duration,
+        "WAN rounds must take longer than LAN rounds"
+    );
+}
+
+#[test]
+fn crash_faults_up_to_f_do_not_stop_progress() {
+    let n = 7; // f = 2
+    let config = base_config(ExecutionMode::Thunderbolt, n, 10);
+    let faults = FaultPlan::crash_replicas(n, 2, SimTime::ZERO);
+    let mut sim = ClusterSimulation::new(config, workload(n, 0.1), faults);
+    let report = sim.run();
+    assert!(report.committed_txs > 0, "f crashes must not halt the system");
+}
+
+#[test]
+fn censorship_triggers_non_blocking_reconfiguration() {
+    let mut config = base_config(ExecutionMode::Thunderbolt, 4, 26);
+    config.system.reconfig = ReconfigConfig::new(3, 1_000);
+    let faults = FaultPlan::silence_from_start(ReplicaId::new(2));
+    let mut sim = ClusterSimulation::new(config, workload(4, 0.0), faults);
+    let report = sim.run();
+    assert!(
+        report.reconfigurations >= 1,
+        "silencing a proposer must trigger a shard rotation"
+    );
+    assert!(
+        report.committed_txs > 0,
+        "consensus must keep committing across the reconfiguration"
+    );
+    // After the rotation the observer no longer serves its original shard.
+    assert!(sim.replica(ReplicaId::new(0)).current_dag().as_inner() >= 1);
+}
+
+#[test]
+fn periodic_reconfiguration_with_small_k_prime_still_makes_progress() {
+    let mut config = base_config(ExecutionMode::Thunderbolt, 4, 24);
+    config.system.reconfig = ReconfigConfig::new(4, 6);
+    let mut sim = ClusterSimulation::with_defaults(config, workload(4, 0.0));
+    let report = sim.run();
+    assert!(report.reconfigurations >= 1);
+    assert!(report.committed_txs > 0);
+    assert!(!report.round_commits.is_empty());
+}
+
+#[test]
+fn skip_block_mode_commits_with_cross_shard_traffic() {
+    let mut config = base_config(ExecutionMode::Thunderbolt, 4, 12);
+    config.use_skip_blocks = true;
+    let mut sim = ClusterSimulation::with_defaults(config, workload(4, 0.3));
+    let report = sim.run();
+    assert!(report.committed_txs > 0);
+    assert!(report.cross_shard_txs > 0);
+}
