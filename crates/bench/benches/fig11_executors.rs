@@ -13,9 +13,7 @@ fn bench(c: &mut Criterion) {
                 BenchmarkId::new(engine.label(), executors),
                 &executors,
                 |b, &executors| {
-                    b.iter(|| {
-                        run_executor_cell(engine, executors, 300, 0.85, 0.5, 1_000, 300, 0)
-                    })
+                    b.iter(|| run_executor_cell(engine, executors, 300, 0.85, 0.5, 1_000, 300, 0))
                 },
             );
         }

@@ -12,9 +12,7 @@ fn bench(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(engine.label(), format!("theta{theta}")),
                 &theta,
-                |b, &theta| {
-                    b.iter(|| run_executor_cell(engine, 8, 300, theta, 0.5, 1_000, 300, 0))
-                },
+                |b, &theta| b.iter(|| run_executor_cell(engine, 8, 300, theta, 0.5, 1_000, 300, 0)),
             );
         }
     }

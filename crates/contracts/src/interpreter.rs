@@ -173,7 +173,7 @@ impl Program {
 
     /// Disassembles the bytecode back into instructions.
     pub fn instructions(&self) -> Result<Vec<Instr>, ExecError> {
-        if self.code.len() % INSTR_LEN != 0 {
+        if !self.code.len().is_multiple_of(INSTR_LEN) {
             return Err(bad("truncated bytecode"));
         }
         self.code
@@ -508,7 +508,7 @@ mod tests {
     #[test]
     fn load_space_reads_other_namespaces() {
         let p = Program::assemble(&[
-            Instr::Push(7),                              // row
+            Instr::Push(7),                                   // row
             Instr::Push(i64::from(KeySpace::Checking.tag())), // space
             Instr::LoadSpace,
             Instr::Ret,

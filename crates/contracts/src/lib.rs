@@ -11,7 +11,7 @@
 //!   validation.
 //! * The native [SmallBank](smallbank) procedures used by the evaluation
 //!   workload.
-//! * A small stack-machine [interpreter](interpreter) whose programs compute
+//! * A small stack-machine [interpreter] whose programs compute
 //!   the keys they access at run time — the property that makes read/write
 //!   set pre-declaration impossible.
 //! * [`execute_call`] — the dispatcher turning a

@@ -40,9 +40,7 @@ pub fn execute_smallbank<S: StateAccess + ?Sized>(
         SmallBankProcedure::TransactSavings { account, amount } => {
             transact_savings(*account, *amount, state)
         }
-        SmallBankProcedure::WriteCheck { account, amount } => {
-            write_check(*account, *amount, state)
-        }
+        SmallBankProcedure::WriteCheck { account, amount } => write_check(*account, *amount, state),
         SmallBankProcedure::SendPayment { from, to, amount } => {
             send_payment(*from, *to, *amount, state)
         }
@@ -172,8 +170,8 @@ mod tests {
     #[test]
     fn get_balance_sums_both_accounts() {
         let mut state = bank(&[(1, 30, 12)]);
-        let r = execute_smallbank(&SmallBankProcedure::GetBalance { account: 1 }, &mut state)
-            .unwrap();
+        let r =
+            execute_smallbank(&SmallBankProcedure::GetBalance { account: 1 }, &mut state).unwrap();
         assert_eq!(r.return_value, Value::int(42));
         assert!(!r.logically_aborted);
     }
@@ -306,8 +304,11 @@ mod tests {
     #[test]
     fn amalgamate_empties_source_into_destination_checking() {
         let mut state = bank(&[(1, 10, 20), (2, 5, 7)]);
-        let r = execute_smallbank(&SmallBankProcedure::Amalgamate { from: 1, to: 2 }, &mut state)
-            .unwrap();
+        let r = execute_smallbank(
+            &SmallBankProcedure::Amalgamate { from: 1, to: 2 },
+            &mut state,
+        )
+        .unwrap();
         assert_eq!(r.return_value, Value::int(35));
         assert_eq!(state.peek(&Key::checking(1)), Value::int(0));
         assert_eq!(state.peek(&Key::savings(1)), Value::int(0));
@@ -318,8 +319,11 @@ mod tests {
     #[test]
     fn amalgamate_to_self_moves_savings_into_checking() {
         let mut state = bank(&[(4, 10, 15)]);
-        let r = execute_smallbank(&SmallBankProcedure::Amalgamate { from: 4, to: 4 }, &mut state)
-            .unwrap();
+        let r = execute_smallbank(
+            &SmallBankProcedure::Amalgamate { from: 4, to: 4 },
+            &mut state,
+        )
+        .unwrap();
         assert_eq!(r.return_value, Value::int(25));
         assert_eq!(state.peek(&Key::checking(4)), Value::int(25));
         assert_eq!(state.peek(&Key::savings(4)), Value::int(0));
@@ -328,8 +332,8 @@ mod tests {
     #[test]
     fn missing_accounts_read_as_zero() {
         let mut state = MapState::new();
-        let r = execute_smallbank(&SmallBankProcedure::GetBalance { account: 99 }, &mut state)
-            .unwrap();
+        let r =
+            execute_smallbank(&SmallBankProcedure::GetBalance { account: 99 }, &mut state).unwrap();
         assert_eq!(r.return_value, Value::int(0));
     }
 }

@@ -110,7 +110,11 @@ const EVENT_BUDGET: u64 = 50_000_000;
 impl ClusterSimulation {
     /// Builds a cluster: `n` replicas with freshly loaded SmallBank state, a
     /// simulated network with the configured latency model and a fault plan.
-    pub fn new(config: ClusterConfig, mut workload_config: SmallBankConfig, faults: FaultPlan) -> Self {
+    pub fn new(
+        config: ClusterConfig,
+        mut workload_config: SmallBankConfig,
+        faults: FaultPlan,
+    ) -> Self {
         let n = config.system.n_replicas;
         workload_config.n_shards = n;
         workload_config.seed = workload_config.seed.wrapping_add(config.seed);
@@ -266,11 +270,7 @@ impl ClusterSimulation {
             let tx = self.workload.next_transaction(now);
             generated += 1;
             let home = tx.home_shard();
-            if let Some(idx) = self
-                .replicas
-                .iter()
-                .position(|r| r.current_shard() == home)
-            {
+            if let Some(idx) = self.replicas.iter().position(|r| r.current_shard() == home) {
                 self.replicas[idx].enqueue(tx);
             }
         }

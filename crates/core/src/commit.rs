@@ -144,8 +144,9 @@ impl CommitPipeline {
                     store.put(record.key, record.value.clone());
                 }
                 output.committed.push((p.tx.id, commit_time));
-                output.total_latency_secs +=
-                    commit_time.saturating_since(p.tx.submitted_at).as_secs_f64();
+                output.total_latency_secs += commit_time
+                    .saturating_since(p.tx.submitted_at)
+                    .as_secs_f64();
             }
             output.single_shard_committed += ordered.len();
         }
@@ -294,13 +295,7 @@ mod tests {
         // replicas.
         let mut author = 0u32;
         let mut push = |kind: BlockKind, payload: BlockPayload, builder: &mut DagBuilder| {
-            let v = builder.make_vertex(
-                ReplicaId::new(author),
-                Round::ZERO,
-                kind,
-                payload,
-                vec![],
-            );
+            let v = builder.make_vertex(ReplicaId::new(author), Round::ZERO, kind, payload, vec![]);
             author += 1;
             v
         };

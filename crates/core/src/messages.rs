@@ -5,7 +5,7 @@
 //! (`Vertex`). There is no extra coordination protocol for cross-shard
 //! transactions — that is the point of the design.
 
-use tb_types::{Block, Digest, DagId, Header, ReplicaId, Round, Vertex};
+use tb_types::{Block, DagId, Digest, Header, ReplicaId, Round, Vertex};
 
 /// A protocol message exchanged between replicas.
 #[derive(Clone, Debug, PartialEq)]
@@ -94,10 +94,8 @@ mod tests {
         assert_eq!(ack.round(), Round::new(3));
 
         let committee = Committee::new(4);
-        let cert = tb_types::Certificate::for_header(
-            &header,
-            committee.replicas().take(3).collect(),
-        );
+        let cert =
+            tb_types::Certificate::for_header(&header, committee.replicas().take(3).collect());
         let vertex = Message::Vertex(Box::new(Vertex::new(header, block, cert)));
         assert_eq!(vertex.kind(), "vertex");
         assert_eq!(vertex.round(), Round::new(3));

@@ -166,7 +166,9 @@ impl ShardProposer {
 
     /// Enqueues many transactions, returning how many were accepted.
     pub fn enqueue_all(&mut self, txs: impl IntoIterator<Item = Transaction>) -> usize {
-        txs.into_iter().filter(|tx| self.enqueue(tx.clone())).count()
+        txs.into_iter()
+            .filter(|tx| self.enqueue(tx.clone()))
+            .count()
     }
 
     /// Takes the next batch of single-shard transactions for preplay.
@@ -207,7 +209,11 @@ mod tests {
         Transaction::new(
             TxId::new(id),
             ClientId::new(0),
-            ContractCall::SmallBank(SmallBankProcedure::SendPayment { from, to, amount: 1 }),
+            ContractCall::SmallBank(SmallBankProcedure::SendPayment {
+                from,
+                to,
+                amount: 1,
+            }),
             n_shards,
             SimTime::ZERO,
         )

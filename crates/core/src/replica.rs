@@ -302,7 +302,12 @@ impl Replica {
             }
             ProposalDecision::Preplay => {
                 let singles = self.proposer.take_single_batch();
-                let budget = self.config.system.ce.batch_size.saturating_sub(singles.len());
+                let budget = self
+                    .config
+                    .system
+                    .ce
+                    .batch_size
+                    .saturating_sub(singles.len());
                 let cross = self.proposer.take_cross_batch(budget);
                 let preplayed = self.preplay(&singles);
                 (
@@ -424,7 +429,11 @@ impl Replica {
         }
         // The latest leader round strictly before the current round.
         let candidate = current - 1;
-        let leader_round = if candidate % 2 == 1 { candidate } else { candidate - 1 };
+        let leader_round = if candidate % 2 == 1 {
+            candidate
+        } else {
+            candidate - 1
+        };
         if leader_round < start.max(1) {
             return true;
         }
@@ -463,9 +472,8 @@ impl Replica {
                 if author == self.id {
                     continue;
                 }
-                let seen = (current - reconfig.silent_rounds_k..current).any(|r| {
-                    self.dag.by_author_round(author, Round::new(r)).is_some()
-                });
+                let seen = (current - reconfig.silent_rounds_k..current)
+                    .any(|r| self.dag.by_author_round(author, Round::new(r)).is_some());
                 if !seen {
                     return true;
                 }
@@ -530,10 +538,8 @@ impl Replica {
             return Vec::new();
         }
         pending.vertex_sent = true;
-        let certificate = Certificate::for_header(
-            &pending.header,
-            pending.acks.iter().copied().collect(),
-        );
+        let certificate =
+            Certificate::for_header(&pending.header, pending.acks.iter().copied().collect());
         let vertex = Vertex::new(pending.header.clone(), pending.block.clone(), certificate);
         vec![Outbound::broadcast(Message::Vertex(Box::new(vertex)))]
     }
@@ -714,7 +720,11 @@ mod tests {
         Transaction::new(
             TxId::new(id),
             ClientId::new(0),
-            ContractCall::SmallBank(SmallBankProcedure::SendPayment { from, to, amount: 1 }),
+            ContractCall::SmallBank(SmallBankProcedure::SendPayment {
+                from,
+                to,
+                amount: 1,
+            }),
             n_shards,
             SimTime::ZERO,
         )
@@ -898,7 +908,8 @@ mod tests {
         for replica in &replicas {
             assert!(replica.metrics().committed_txs >= 6);
             assert_eq!(
-                replica.metrics().single_shard_txs, 0,
+                replica.metrics().single_shard_txs,
+                0,
                 "Tusk never ships preplayed payloads"
             );
             assert_eq!(replica.store().get(&Key::checking(0)), Value::int(994));

@@ -61,7 +61,14 @@ impl DagBuilder {
             SimTime::ZERO,
         );
         block.kind = kind;
-        let header = Header::new(self.dag, round, author, block.digest(), parents, SimTime::ZERO);
+        let header = Header::new(
+            self.dag,
+            round,
+            author,
+            block.digest(),
+            parents,
+            SimTime::ZERO,
+        );
         let signers: Vec<ReplicaId> = self
             .committee
             .replicas()

@@ -95,8 +95,7 @@ impl Committer {
             let direct_leader = store
                 .by_author_round(leader_author, leader_round)
                 .filter(|v| {
-                    store.support(&v.id(), support_round)
-                        >= self.committee.validity_threshold()
+                    store.support(&v.id(), support_round) >= self.committee.validity_threshold()
                 })
                 .cloned();
 
@@ -289,11 +288,8 @@ mod tests {
         let r1_certs = store.certificates_at_round(Round::new(1));
         // Round 2: only replica 1's vertex references the leader; the others
         // reference the three non-leader vertices.
-        let without_leader: Vec<Digest> = r1_certs
-            .iter()
-            .copied()
-            .filter(|d| *d != leader1)
-            .collect();
+        let without_leader: Vec<Digest> =
+            r1_certs.iter().copied().filter(|d| *d != leader1).collect();
         for author in committee.replicas() {
             let parents = if author == ReplicaId::new(1) {
                 r1_certs.clone()
@@ -324,7 +320,11 @@ mod tests {
             .unwrap();
         let committed = committer.try_commit(&store);
         let rounds: Vec<u64> = committed.iter().map(|c| c.leader_round.as_u64()).collect();
-        assert_eq!(rounds, vec![1, 3], "round-1 leader commits indirectly first");
+        assert_eq!(
+            rounds,
+            vec![1, 3],
+            "round-1 leader commits indirectly first"
+        );
         let total: usize = committed.iter().map(|c| c.vertices.len()).sum();
         assert_eq!(
             committer.delivered_count(),

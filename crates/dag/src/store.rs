@@ -293,7 +293,9 @@ mod tests {
         assert_eq!(store.authors_at_round(Round::new(0)), 4);
         assert!(store.round_has_quorum(Round::new(2)));
         assert_eq!(store.highest_round(), Round::new(2));
-        let v = store.by_author_round(ReplicaId::new(2), Round::new(1)).unwrap();
+        let v = store
+            .by_author_round(ReplicaId::new(2), Round::new(1))
+            .unwrap();
         assert_eq!(v.author(), ReplicaId::new(2));
         assert!(store.contains(&v.id()));
         assert_eq!(store.get(&v.id()).unwrap().round(), Round::new(1));

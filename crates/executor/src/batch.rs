@@ -128,9 +128,7 @@ impl BatchResult {
 mod tests {
     use super::*;
     use tb_storage::KvRead;
-    use tb_types::{
-        AccessRecord, ClientId, ContractCall, ExecOutcome, Key, SimTime, Transaction,
-    };
+    use tb_types::{AccessRecord, ClientId, ContractCall, ExecOutcome, Key, SimTime, Transaction};
 
     fn preplayed(id: u64, order: u32, writes: &[(Key, i64)]) -> PreplayedTx {
         let tx = Transaction::new(
@@ -142,7 +140,9 @@ mod tests {
         );
         let mut outcome = ExecOutcome::empty();
         for (k, v) in writes {
-            outcome.write_set.push(AccessRecord::new(*k, Value::int(*v)));
+            outcome
+                .write_set
+                .push(AccessRecord::new(*k, Value::int(*v)));
         }
         PreplayedTx::new(tx, outcome, order)
     }

@@ -96,10 +96,7 @@ impl<'a> ConcurrencyController<'a> {
         }
     }
 
-    fn check_live(
-        graph: &DependencyGraph,
-        handle: TxHandle,
-    ) -> Result<(), ExecError> {
+    fn check_live(graph: &DependencyGraph, handle: TxHandle) -> Result<(), ExecError> {
         let node = graph.node(handle.idx);
         if node.epoch != handle.epoch || node.status != TxnStatus::Active {
             return Err(ExecError::aborted("superseded by a concurrent abort"));
@@ -142,8 +139,8 @@ impl<'a> ConcurrencyController<'a> {
                     break;
                 }
             }
-            let feasible = graph.can_add_edge(writer, idx)
-                && next.map_or(true, |n| graph.can_add_edge(idx, n));
+            let feasible =
+                graph.can_add_edge(writer, idx) && next.is_none_or(|n| graph.can_add_edge(idx, n));
             if !feasible {
                 continue;
             }
@@ -170,8 +167,7 @@ impl<'a> ConcurrencyController<'a> {
         let root_ok = match chain.first() {
             None => true,
             Some(&first) => {
-                graph.node(first).status != TxnStatus::Committed
-                    && graph.can_add_edge(idx, first)
+                graph.node(first).status != TxnStatus::Committed && graph.can_add_edge(idx, first)
             }
         };
         if root_ok {
@@ -254,7 +250,7 @@ impl<'a> ConcurrencyController<'a> {
             let mut feasible = true;
             for (reader, source) in &readers {
                 let source_pos = source.and_then(|w| chain.iter().position(|&c| c == w));
-                let reads_older_value = source_pos.map_or(true, |j| j < pos);
+                let reads_older_value = source_pos.is_none_or(|j| j < pos);
                 if reads_older_value {
                     if graph.can_add_edge(*reader, idx) {
                         reader_edges.push(*reader);
@@ -413,7 +409,10 @@ mod tests {
         let h = cc.begin(0).unwrap();
         assert_eq!(cc.read(h, key(1)).unwrap(), Value::int(42));
         assert_eq!(cc.read(h, key(9)).unwrap(), Value::None);
-        assert_eq!(cc.finish(h, CallResult::ok(Value::None)), FinishStatus::Committed);
+        assert_eq!(
+            cc.finish(h, CallResult::ok(Value::None)),
+            FinishStatus::Committed
+        );
         assert!(cc.all_committed());
     }
 
@@ -483,8 +482,14 @@ mod tests {
         // T2 can be serialized before T1.
         cc.write(t2, key(10), Value::int(a_for_t2 + 1)).unwrap();
 
-        assert_eq!(cc.finish(t2, CallResult::ok(Value::None)), FinishStatus::Committed);
-        assert_eq!(cc.finish(t1, CallResult::ok(Value::None)), FinishStatus::Committed);
+        assert_eq!(
+            cc.finish(t2, CallResult::ok(Value::None)),
+            FinishStatus::Committed
+        );
+        assert_eq!(
+            cc.finish(t1, CallResult::ok(Value::None)),
+            FinishStatus::Committed
+        );
         assert_eq!(cc.total_aborts(), 0);
         assert_eq!(cc.committed_order(), vec![1, 0]);
     }
@@ -654,6 +659,9 @@ mod tests {
         let h = cc.begin(0).unwrap();
         assert!(cc.begin(0).is_none(), "active transactions cannot restart");
         cc.finish(h, CallResult::ok(Value::None));
-        assert!(cc.begin(0).is_none(), "committed transactions cannot restart");
+        assert!(
+            cc.begin(0).is_none(),
+            "committed transactions cannot restart"
+        );
     }
 }

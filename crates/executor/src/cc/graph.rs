@@ -263,13 +263,7 @@ impl DependencyGraph {
 
     /// Registers `idx` as a reader of `key` that took its value from
     /// `from_writer` (`None` = storage).
-    pub fn record_read(
-        &mut self,
-        idx: TxIdx,
-        key: Key,
-        value: Value,
-        from_writer: Option<TxIdx>,
-    ) {
+    pub fn record_read(&mut self, idx: TxIdx, key: Key, value: Value, from_writer: Option<TxIdx>) {
         let entry = self.keys.entry(key).or_default();
         entry.readers.insert(idx);
         let node = &mut self.nodes[idx];
@@ -283,12 +277,7 @@ impl DependencyGraph {
     /// Registers a write of `value` to `key` by `idx`, appending `idx` to the
     /// key's write chain if this is its first write to the key.
     pub fn record_write(&mut self, idx: TxIdx, key: Key, value: Value) {
-        let position = self
-            .keys
-            .entry(key)
-            .or_default()
-            .write_chain
-            .len();
+        let position = self.keys.entry(key).or_default().write_chain.len();
         self.record_write_at(idx, key, value, position);
     }
 

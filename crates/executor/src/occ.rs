@@ -112,8 +112,7 @@ impl BatchExecutor for OccExecutor {
                         let mut attempts = 0u64;
                         loop {
                             attempts += 1;
-                            let mut tracking =
-                                TrackingState::new(OccSession::new(store, op_cost));
+                            let mut tracking = TrackingState::new(OccSession::new(store, op_cost));
                             let result = execute_call(&tx.call, &mut tracking)
                                 .expect("the OCC session never aborts mid-execution");
                             let (mut outcome, session) = tracking.finish();
@@ -125,15 +124,12 @@ impl BatchExecutor for OccExecutor {
                             let valid = session
                                 .read_versions
                                 .iter()
-                                .all(|(key, version)| {
-                                    store.get_versioned(key).version == *version
-                                });
+                                .all(|(key, version)| store.get_versioned(key).version == *version);
                             if valid {
                                 for (key, value) in &session.writes {
                                     store.put(*key, value.clone());
                                 }
-                                let order =
-                                    commit_counter.fetch_add(1, Ordering::Relaxed) as u32;
+                                let order = commit_counter.fetch_add(1, Ordering::Relaxed) as u32;
                                 slots[idx] = Some((
                                     PreplayedTx::new(tx.clone(), outcome, order),
                                     tx_started.elapsed(),

@@ -71,8 +71,8 @@ impl BatchExecutor for SerialExecutor {
                 op_cost: self.op_cost_ns,
             };
             let mut tracking = TrackingState::new(session);
-            let result = execute_call(&tx.call, &mut tracking)
-                .expect("serial execution never aborts");
+            let result =
+                execute_call(&tx.call, &mut tracking).expect("serial execution never aborts");
             let (mut outcome, _) = tracking.finish();
             outcome.return_value = result.return_value;
             outcome.logically_aborted = result.logically_aborted;
@@ -136,6 +136,9 @@ mod tests {
             outcome.written_value(&Key::checking(3)),
             Some(&Value::int(5))
         );
-        assert_eq!(outcome.written_value(&Key::checking(4)), Some(&Value::int(5)));
+        assert_eq!(
+            outcome.written_value(&Key::checking(4)),
+            Some(&Value::int(5))
+        );
     }
 }

@@ -200,8 +200,10 @@ fn same_access_set(a: &[tb_types::AccessRecord], b: &[tb_types::AccessRecord]) -
     if a.len() != b.len() {
         return false;
     }
-    a.iter()
-        .all(|rec| b.iter().any(|other| other.key == rec.key && other.value == rec.value))
+    a.iter().all(|rec| {
+        b.iter()
+            .any(|other| other.key == rec.key && other.value == rec.value)
+    })
 }
 
 /// Computes the state the block leaves behind: for every written key the last
@@ -379,8 +381,11 @@ mod tests {
         let ce = ConcurrentExecutor::new(CeConfig::new(4, 512).without_synthetic_cost());
         let result = ce.preplay(&txs, &store);
         for validators in [1, 2, 7, 32] {
-            let report =
-                validate_block(&result.preplayed, &store, &ValidationConfig::new(validators));
+            let report = validate_block(
+                &result.preplayed,
+                &store,
+                &ValidationConfig::new(validators),
+            );
             assert!(report.is_valid(), "failed with {validators} validators");
         }
     }

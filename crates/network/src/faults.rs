@@ -126,7 +126,10 @@ mod tests {
     #[test]
     fn faults_apply_in_time_order_and_only_once() {
         let mut plan = FaultPlan::none();
-        plan.push(SimTime::from_secs(2), FaultAction::Recover(ReplicaId::new(3)));
+        plan.push(
+            SimTime::from_secs(2),
+            FaultAction::Recover(ReplicaId::new(3)),
+        );
         plan.push(SimTime::from_secs(1), FaultAction::Crash(ReplicaId::new(3)));
         let mut net: SimNetwork<()> = SimNetwork::new(4, LatencyModel::Instant, 0);
         assert_eq!(plan.apply_due(SimTime::from_secs(1), &mut net), 1);

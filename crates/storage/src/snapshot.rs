@@ -113,10 +113,7 @@ mod tests {
     fn diff_values_reports_divergent_keys_only() {
         let a = snap(&[(1, 10), (2, 20)]);
         let b = snap(&[(1, 10), (2, 21), (3, 30)]);
-        assert_eq!(
-            a.diff_values(&b),
-            vec![Key::scratch(2), Key::scratch(3)]
-        );
+        assert_eq!(a.diff_values(&b), vec![Key::scratch(2), Key::scratch(3)]);
         assert_eq!(a.diff_values(&a), Vec::<Key>::new());
     }
 

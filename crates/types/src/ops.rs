@@ -166,7 +166,10 @@ impl ExecOutcome {
 
     /// The value read for `key`, if any.
     pub fn read_value(&self, key: &Key) -> Option<&Value> {
-        self.read_set.iter().find(|r| r.key == *key).map(|r| &r.value)
+        self.read_set
+            .iter()
+            .find(|r| r.key == *key)
+            .map(|r| &r.value)
     }
 
     /// The value written to `key`, if any.

@@ -160,9 +160,7 @@ impl ContractCall {
     pub fn declared_read_only(&self) -> bool {
         match self {
             ContractCall::SmallBank(p) => p.is_read_only(),
-            ContractCall::KvOps(ops) => ops
-                .iter()
-                .all(|o| matches!(o, Operation::Read { .. })),
+            ContractCall::KvOps(ops) => ops.iter().all(|o| matches!(o, Operation::Read { .. })),
             ContractCall::Program { .. } => false,
             ContractCall::Noop => true,
         }
@@ -266,7 +264,13 @@ mod tests {
     use crate::value::Value;
 
     fn tx(call: ContractCall, n_shards: u32) -> Transaction {
-        Transaction::new(TxId::new(1), ClientId::new(0), call, n_shards, SimTime::ZERO)
+        Transaction::new(
+            TxId::new(1),
+            ClientId::new(0),
+            call,
+            n_shards,
+            SimTime::ZERO,
+        )
     }
 
     #[test]
@@ -329,7 +333,10 @@ mod tests {
         let p = SmallBankProcedure::Amalgamate { from: 3, to: 3 };
         assert_eq!(p.accounts(), vec![3]);
         assert_eq!(p.name(), "Amalgamate");
-        let q = SmallBankProcedure::WriteCheck { account: 2, amount: 10 };
+        let q = SmallBankProcedure::WriteCheck {
+            account: 2,
+            amount: 10,
+        };
         assert_eq!(q.accounts(), vec![2]);
         assert!(!q.is_read_only());
     }

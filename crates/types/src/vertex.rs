@@ -123,7 +123,13 @@ impl Certificate {
 
     /// Builds the certificate for a header given the acknowledging replicas.
     pub fn for_header(header: &Header, signers: Vec<ReplicaId>) -> Self {
-        Certificate::new(header.digest(), header.dag, header.round, header.author, signers)
+        Certificate::new(
+            header.digest(),
+            header.dag,
+            header.round,
+            header.author,
+            signers,
+        )
     }
 
     /// True if the certificate carries a `2f + 1` quorum of distinct,
@@ -267,8 +273,7 @@ mod tests {
         );
         assert!(ok.is_valid(&committee));
 
-        let too_few =
-            Certificate::for_header(&h, vec![ReplicaId::new(0), ReplicaId::new(1)]);
+        let too_few = Certificate::for_header(&h, vec![ReplicaId::new(0), ReplicaId::new(1)]);
         assert!(!too_few.is_valid(&committee));
 
         // Duplicate signers are collapsed and do not count twice.

@@ -147,7 +147,9 @@ impl ContractWorkload {
 
     /// Generates a batch of transactions.
     pub fn batch(&mut self, size: usize, submitted_at: SimTime) -> Vec<Transaction> {
-        (0..size).map(|_| self.next_transaction(submitted_at)).collect()
+        (0..size)
+            .map(|_| self.next_transaction(submitted_at))
+            .collect()
     }
 }
 

@@ -174,7 +174,7 @@ impl SmallBankWorkload {
         }
         let shift = if cross {
             // Next account in a different shard.
-            1.max(1)
+            1
         } else {
             // Same shard: jump a whole stripe of shards.
             u64::from(n_shards)
@@ -222,7 +222,9 @@ impl SmallBankWorkload {
 
     /// Generates a batch of transactions with the same submission time.
     pub fn batch(&mut self, size: usize, submitted_at: SimTime) -> Vec<Transaction> {
-        (0..size).map(|_| self.next_transaction(submitted_at)).collect()
+        (0..size)
+            .map(|_| self.next_transaction(submitted_at))
+            .collect()
     }
 
     /// Generates a batch of transactions that all belong to `shard`

@@ -11,8 +11,8 @@
 
 use tb_contracts::{execute_call, MapState, ProgramBuilder, TrackingState};
 use tb_types::{ContractCall, Key, Value};
-use thunderbolt::{ClusterConfig, ClusterSimulation};
 use tb_workload::SmallBankConfig;
+use thunderbolt::{ClusterConfig, ClusterSimulation};
 
 fn main() {
     // Part 1: a contract whose write set depends on runtime state.
@@ -31,7 +31,10 @@ fn main() {
     let (outcome, _) = tracking.finish();
     println!(
         "declared keys: {:?}",
-        call.declared_keys().iter().map(|k| k.to_string()).collect::<Vec<_>>()
+        call.declared_keys()
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
     );
     println!(
         "actual write set discovered by preplay: {:?}",

@@ -9,8 +9,8 @@
 
 use tb_network::FaultPlan;
 use tb_types::{CeConfig, ReconfigConfig, ReplicaId};
-use thunderbolt::{ClusterConfig, ClusterSimulation};
 use tb_workload::SmallBankConfig;
+use thunderbolt::{ClusterConfig, ClusterSimulation};
 
 fn main() {
     let replicas = 4;
@@ -48,5 +48,8 @@ fn main() {
         report.reconfigurations >= 1,
         "the censored shard must trigger at least one reconfiguration"
     );
-    println!("\nconsensus never stalled: {} leader rounds committed", report.round_commits.len());
+    println!(
+        "\nconsensus never stalled: {} leader rounds committed",
+        report.round_commits.len()
+    );
 }

@@ -3,9 +3,9 @@
 //!
 //! Run with: `cargo run --release --example smallbank_cluster`
 
-use thunderbolt::{ClusterConfig, ClusterSimulation, ExecutionMode};
 use tb_types::{CeConfig, LatencyModel};
 use tb_workload::SmallBankConfig;
+use thunderbolt::{ClusterConfig, ClusterSimulation, ExecutionMode};
 
 fn run(mode: ExecutionMode, replicas: u32, rounds: u64) {
     let mut config = ClusterConfig::thunderbolt(replicas);
@@ -24,7 +24,9 @@ fn run(mode: ExecutionMode, replicas: u32, rounds: u64) {
 fn main() {
     let replicas = 8;
     let rounds = 12;
-    println!("SmallBank on {replicas} replicas, {rounds} rounds of DAG consensus (simulated LAN)\n");
+    println!(
+        "SmallBank on {replicas} replicas, {rounds} rounds of DAG consensus (simulated LAN)\n"
+    );
     run(ExecutionMode::Thunderbolt, replicas, rounds);
     run(ExecutionMode::ThunderboltOcc, replicas, rounds);
     run(ExecutionMode::Tusk, replicas, rounds);

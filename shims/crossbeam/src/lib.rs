@@ -1,0 +1,104 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only [`queue::SegQueue`] is provided — the one type the workspace uses
+//! (as the work-stealing queue feeding executor workers). The shim backs it
+//! with a mutexed `VecDeque`, which is slower under heavy contention than
+//! the real lock-free segmented queue but has identical semantics.
+
+pub mod queue {
+    //! Concurrent queues.
+
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC FIFO queue with the `crossbeam::queue::SegQueue` API.
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes `value` onto the back of the queue.
+        pub fn push(&self, value: T) {
+            self.lock().push_back(value);
+        }
+
+        /// Pops from the front of the queue, or `None` if empty.
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_front()
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order() {
+            let q = SegQueue::new();
+            q.push(1);
+            q.push(2);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), None);
+            assert!(q.is_empty());
+        }
+
+        #[test]
+        fn concurrent_producers_consumers() {
+            let q = std::sync::Arc::new(SegQueue::new());
+            let drained = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            std::thread::scope(|s| {
+                for t in 0..4 {
+                    let q = q.clone();
+                    s.spawn(move || {
+                        for i in 0..500 {
+                            q.push(t * 1000 + i);
+                        }
+                    });
+                }
+                for _ in 0..4 {
+                    let q = q.clone();
+                    let drained = drained.clone();
+                    s.spawn(move || loop {
+                        if q.pop().is_some() {
+                            if drained.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1 == 2000
+                            {
+                                break;
+                            }
+                        } else if drained.load(std::sync::atomic::Ordering::SeqCst) == 2000 {
+                            break;
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    });
+                }
+            });
+            assert_eq!(drained.load(std::sync::atomic::Ordering::SeqCst), 2000);
+        }
+    }
+}

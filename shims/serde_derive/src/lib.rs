@@ -1,0 +1,306 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crate expands `#[derive(Serialize, Deserialize)]` through
+//! syn/quote; neither is available in the offline build container, so this
+//! shim parses the item's token stream by hand and emits an impl of the shim
+//! `serde::Serialize` trait (conversion into a `serde::Value` tree) built as
+//! a source string.
+//!
+//! Supported shapes — exactly what the workspace uses:
+//!
+//! * unit / tuple / named-field structs (no generics),
+//! * enums with unit, tuple and named-field variants (no generics),
+//! * the `#[serde(transparent)]` container attribute,
+//! * arbitrary other attributes (doc comments, `#[default]`) are skipped.
+//!
+//! `#[derive(Deserialize)]` expands to nothing: the workspace derives it for
+//! wire-format parity but never deserializes (see the `serde` shim docs).
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` (see crate docs for supported shapes).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand_serialize(input) {
+        Ok(s) => s.parse().expect("serde_derive shim emitted invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Accepted for parity with the real crate; expands to nothing because the
+/// workspace never deserializes (see crate docs).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+fn expand_serialize(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+
+    // Leading attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if attr_is_serde_transparent(g) {
+                        transparent = true;
+                    }
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the serde shim derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    let body = match kind.as_str() {
+        "struct" => expand_struct(&name, &tokens[i..], transparent)?,
+        "enum" => expand_enum(&name, &tokens[i..])?,
+        other => return Err(format!("cannot derive Serialize for `{other}` items")),
+    };
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}"
+    ))
+}
+
+fn expand_struct(name: &str, rest: &[TokenTree], transparent: bool) -> Result<String, String> {
+    match rest.first() {
+        // Named fields.
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(g)?;
+            if transparent {
+                if fields.len() != 1 {
+                    return Err(format!(
+                        "#[serde(transparent)] on `{name}` requires exactly one field"
+                    ));
+                }
+                return Ok(format!("::serde::Serialize::to_value(&self.{})", fields[0]));
+            }
+            let entries = fields
+                .iter()
+                .map(|f| format!("(String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            Ok(format!("::serde::Value::Object(vec![{entries}])"))
+        }
+        // Tuple struct.
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = count_tuple_fields(g);
+            if n == 0 {
+                Ok("::serde::Value::Null".to_string())
+            } else if n == 1 || transparent {
+                // Newtype structs serialize as their inner value, matching
+                // real serde's externally-visible JSON.
+                Ok("::serde::Serialize::to_value(&self.0)".to_string())
+            } else {
+                let items = (0..n)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                Ok(format!("::serde::Value::Array(vec![{items}])"))
+            }
+        }
+        // Unit struct.
+        _ => Ok("::serde::Value::Null".to_string()),
+    }
+}
+
+fn expand_enum(name: &str, rest: &[TokenTree]) -> Result<String, String> {
+    let body = match rest.first() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => return Err(format!("expected enum body, found {other:?}")),
+    };
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut arms = Vec::new();
+    let mut j = 0;
+    while j < toks.len() {
+        // Variant attributes (doc comments, #[default], #[serde(..)], ...).
+        while matches!(toks.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            j += 2;
+        }
+        let variant = match toks.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => {
+                return Err(format!(
+                    "expected variant name in `{name}`, found {other:?}"
+                ))
+            }
+        };
+        j += 1;
+        let arm = match toks.get(j) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g);
+                j += 1;
+                let binders = (0..n).map(|k| format!("__f{k}")).collect::<Vec<_>>();
+                let inner = if n == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    format!(
+                        "::serde::Value::Array(vec![{}])",
+                        binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                };
+                format!(
+                    "{name}::{variant}({binds}) => ::serde::Value::Object(vec![(String::from({variant:?}), {inner})]),",
+                    binds = binders.join(", ")
+                )
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g)?;
+                j += 1;
+                let entries = fields
+                    .iter()
+                    .map(|f| format!("(String::from({f:?}), ::serde::Serialize::to_value({f}))"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "{name}::{variant} {{ {binds} }} => ::serde::Value::Object(vec![(String::from({variant:?}), ::serde::Value::Object(vec![{entries}]))]),",
+                    binds = fields.join(", ")
+                )
+            }
+            _ => format!("{name}::{variant} => ::serde::Value::Str(String::from({variant:?})),"),
+        };
+        arms.push(arm);
+        // Skip an optional discriminant and advance to the next variant.
+        while j < toks.len() {
+            if matches!(&toks[j], TokenTree::Punct(p) if p.as_char() == ',') {
+                j += 1;
+                break;
+            }
+            j += 1;
+        }
+    }
+    Ok(format!(
+        "match self {{\n            {}\n        }}",
+        arms.join("\n            ")
+    ))
+}
+
+fn attr_is_serde_transparent(attr: &Group) -> bool {
+    if attr.delimiter() != Delimiter::Bracket {
+        return false;
+    }
+    let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "transparent"))
+        }
+        _ => false,
+    }
+}
+
+/// Parses `{ a: T, pub b: U, ... }`, returning the field names.
+fn parse_named_fields(body: &Group) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut j = 0;
+    while j < toks.len() {
+        while matches!(toks.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            j += 2;
+        }
+        if matches!(toks.get(j), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            j += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(j) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    j += 1;
+                }
+            }
+        }
+        let name = match toks.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        fields.push(name);
+        j += 1; // field name
+        j += 1; // ':'
+        j = skip_type(&toks, j);
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct/variant body `(T, U, ...)`.
+fn count_tuple_fields(body: &Group) -> usize {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut n = 0;
+    let mut j = 0;
+    while j < toks.len() {
+        while matches!(toks.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            j += 2;
+        }
+        if matches!(toks.get(j), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            j += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(j) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    j += 1;
+                }
+            }
+        }
+        if j >= toks.len() {
+            break;
+        }
+        n += 1;
+        j = skip_type(&toks, j);
+    }
+    n
+}
+
+/// Advances past one type (tracking `<`/`>` nesting), stopping after the
+/// top-level `,` that terminates it.
+fn skip_type(toks: &[TokenTree], mut j: usize) -> usize {
+    let mut angle = 0i32;
+    let mut prev_dash = false;
+    while j < toks.len() {
+        match &toks[j] {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && angle == 0 {
+                    return j + 1;
+                }
+                if c == '<' {
+                    angle += 1;
+                } else if c == '>' && !prev_dash {
+                    angle -= 1;
+                }
+                prev_dash = c == '-';
+            }
+            _ => prev_dash = false,
+        }
+        j += 1;
+    }
+    j
+}

@@ -69,8 +69,7 @@ fn all_three_modes_commit_under_the_same_setup() {
         ExecutionMode::ThunderboltOcc,
         ExecutionMode::Tusk,
     ] {
-        let mut sim =
-            ClusterSimulation::with_defaults(base_config(mode, 4, 8), workload(4, 0.0));
+        let mut sim = ClusterSimulation::with_defaults(base_config(mode, 4, 8), workload(4, 0.0));
         let report = sim.run();
         assert!(
             report.committed_txs > 0,
@@ -102,7 +101,10 @@ fn crash_faults_up_to_f_do_not_stop_progress() {
     let faults = FaultPlan::crash_replicas(n, 2, SimTime::ZERO);
     let mut sim = ClusterSimulation::new(config, workload(n, 0.1), faults);
     let report = sim.run();
-    assert!(report.committed_txs > 0, "f crashes must not halt the system");
+    assert!(
+        report.committed_txs > 0,
+        "f crashes must not halt the system"
+    );
 }
 
 #[test]

@@ -21,7 +21,8 @@ fn procedure(accounts: u64) -> impl Strategy<Value = SmallBankProcedure> {
         (acct.clone(), acct.clone(), 1..50i64).prop_map(|(from, to, amount)| {
             SmallBankProcedure::SendPayment { from, to, amount }
         }),
-        acct.clone().prop_map(|account| SmallBankProcedure::GetBalance { account }),
+        acct.clone()
+            .prop_map(|account| SmallBankProcedure::GetBalance { account }),
         (acct.clone(), 1..50i64)
             .prop_map(|(account, amount)| SmallBankProcedure::DepositChecking { account, amount }),
         (acct.clone(), -30..30i64)
