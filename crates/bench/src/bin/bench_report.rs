@@ -1,0 +1,70 @@
+//! Generates the machine-readable perf-regression report.
+//!
+//! ```text
+//! cargo run --release -p tb-bench --bin bench_report [output-path]
+//! ```
+//!
+//! Runs every executor engine (Thunderbolt CE, OCC, 2PL-No-Wait, Serial)
+//! and the cluster scenarios under fixed seeds, validates the result and
+//! writes `BENCH_report.json` (or the given path). Scale is controlled by
+//! `TB_BENCH_SMOKE=1` (CI perf-smoke), `TB_BENCH_FULL=1` (paper scale) or
+//! neither (quick). The schema is documented in `docs/PERF.md`.
+//!
+//! Exits non-zero if the report fails its structural validation, so CI can
+//! gate on malformed or empty output.
+
+use tb_bench::report::generate;
+use tb_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_report.json".to_string());
+    eprintln!(
+        "bench_report: scale={} cores={} -> {out_path}",
+        scale.label(),
+        tb_executor::available_cores()
+    );
+
+    let report = generate(scale);
+    if let Err(reason) = report.validate() {
+        eprintln!("bench_report: INVALID report: {reason}");
+        std::process::exit(1);
+    }
+
+    let json = tb_bench::to_json(&report);
+    if let Err(err) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_report: cannot write {out_path}: {err}");
+        std::process::exit(1);
+    }
+
+    // Human-readable recap on stdout; the JSON on disk is the interface.
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>10}",
+        "engine", "tps", "p50(s)", "p99(s)", "aborts"
+    );
+    for row in &report.engines {
+        println!(
+            "{:<14} {:>12.0} {:>12.6} {:>12.6} {:>10}",
+            row.engine, row.throughput_tps, row.latency_p50_s, row.latency_p99_s, row.aborts
+        );
+    }
+    println!(
+        "\n{:<24} {:>12} {:>12} {:>12} {:>9} {:>9} {:>9}",
+        "scenario", "tps", "p50(s)", "p99(s)", "val%", "apply%", "exec%"
+    );
+    for row in &report.clusters {
+        println!(
+            "{:<24} {:>12.0} {:>12.6} {:>12.6} {:>8.1}% {:>8.1}% {:>8.1}%",
+            row.scenario,
+            row.throughput_tps,
+            row.latency_p50_s,
+            row.latency_p99_s,
+            row.pipeline.validate_share * 100.0,
+            row.pipeline.apply_share * 100.0,
+            row.pipeline.execute_share * 100.0,
+        );
+    }
+    println!("\nwrote {out_path} (schema v{})", report.schema_version);
+}

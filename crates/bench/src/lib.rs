@@ -17,9 +17,12 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod report;
 
 use serde::Serialize;
-use tb_executor::{BatchExecutor, ConcurrentExecutor, OccExecutor, TwoPlNoWaitExecutor};
+use tb_executor::{
+    BatchExecutor, ConcurrentExecutor, OccExecutor, SerialExecutor, TwoPlNoWaitExecutor,
+};
 use tb_network::FaultPlan;
 use tb_storage::MemStore;
 use tb_types::{CeConfig, LatencyModel, ReconfigConfig, SimTime};
@@ -73,11 +76,42 @@ impl Scale {
         }
     }
 
-    /// Reads the scale from the `TB_BENCH_FULL` environment variable.
+    /// Minimal parameters for the CI `perf-smoke` job (set
+    /// `TB_BENCH_SMOKE=1`): every engine and scenario still runs, but with
+    /// batch counts sized for a shared single- or dual-core runner.
+    pub fn smoke() -> Self {
+        Scale {
+            executor_accounts: 512,
+            executor_txs: 512,
+            system_accounts: 128,
+            system_rounds: 8,
+            system_batch: 64,
+            system_executors: 2,
+            op_cost_ns: 2_000,
+        }
+    }
+
+    /// Reads the scale from the environment: `TB_BENCH_SMOKE=1` wins over
+    /// `TB_BENCH_FULL=1`; the default is [`Scale::quick`].
     pub fn from_env() -> Self {
-        match std::env::var("TB_BENCH_FULL") {
-            Ok(v) if v != "0" && !v.is_empty() => Scale::full(),
-            _ => Scale::quick(),
+        let set = |name: &str| std::env::var(name).is_ok_and(|v| v != "0" && !v.is_empty());
+        if set("TB_BENCH_SMOKE") {
+            Scale::smoke()
+        } else if set("TB_BENCH_FULL") {
+            Scale::full()
+        } else {
+            Scale::quick()
+        }
+    }
+
+    /// The label recorded in `BENCH_report.json`.
+    pub fn label(&self) -> &'static str {
+        if *self == Scale::smoke() {
+            "smoke"
+        } else if *self == Scale::full() {
+            "full"
+        } else {
+            "quick"
         }
     }
 }
@@ -112,11 +146,22 @@ pub enum Engine {
     Occ,
     /// Two-phase locking, no-wait.
     TwoPlNoWait,
+    /// Serial in-order execution (the lower baseline).
+    Serial,
 }
 
 impl Engine {
-    /// All engines compared in Figures 11 and 12.
+    /// The engines compared in Figures 11 and 12.
     pub const ALL: [Engine; 3] = [Engine::Thunderbolt, Engine::Occ, Engine::TwoPlNoWait];
+
+    /// Every engine the perf-regression harness records, including the
+    /// serial baseline (which the paper's figures omit).
+    pub const BENCHED: [Engine; 4] = [
+        Engine::Thunderbolt,
+        Engine::Occ,
+        Engine::TwoPlNoWait,
+        Engine::Serial,
+    ];
 
     /// Display label.
     pub fn label(&self) -> &'static str {
@@ -124,6 +169,7 @@ impl Engine {
             Engine::Thunderbolt => "Thunderbolt",
             Engine::Occ => "OCC",
             Engine::TwoPlNoWait => "2PL-No-Wait",
+            Engine::Serial => "Serial",
         }
     }
 
@@ -132,6 +178,7 @@ impl Engine {
             Engine::Thunderbolt => Box::new(ConcurrentExecutor::new(config)),
             Engine::Occ => Box::new(OccExecutor::new(config)),
             Engine::TwoPlNoWait => Box::new(TwoPlNoWaitExecutor::new(config)),
+            Engine::Serial => Box::new(SerialExecutor::from_config(&config)),
         }
     }
 }

@@ -1,0 +1,416 @@
+//! The machine-readable perf-regression report (`BENCH_report.json`).
+//!
+//! Every PR can prove (or disprove) that it made a hot path faster: the
+//! `bench_report` binary runs every executor engine and a set of cluster
+//! scenarios under fixed seeds and emits one JSON document with throughput,
+//! p50/p99 latency, abort counts and commit-pipeline stage occupancy. CI
+//! runs it in scaled-down mode on every push (`perf-smoke`), validates the
+//! shape and uploads the report as a build artifact, so the perf trajectory
+//! of the repository is recorded run over run.
+//!
+//! The schema is documented in `docs/PERF.md`; bump
+//! [`BENCH_REPORT_SCHEMA_VERSION`] whenever a field changes meaning.
+
+use crate::{Engine, Scale, SystemRun};
+use serde::Serialize;
+use std::time::SystemTime;
+use tb_storage::MemStore;
+use tb_types::{CeConfig, SimTime};
+use tb_workload::{SmallBankConfig, SmallBankWorkload};
+use thunderbolt::ExecutionMode;
+
+/// Version of the `BENCH_report.json` schema (see `docs/PERF.md`).
+pub const BENCH_REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// Fixed seed for every benchmark in the report, so two reports from the
+/// same tree are comparable run over run.
+pub const BENCH_SEED: u64 = 42;
+
+/// One engine measurement: a fixed SmallBank configuration executed batch by
+/// batch on a single store.
+#[derive(Clone, Debug, Serialize)]
+pub struct EngineBench {
+    /// Engine label (`Thunderbolt`, `OCC`, `2PL-No-Wait`, `Serial`).
+    pub engine: String,
+    /// Executor workers.
+    pub executors: usize,
+    /// Transactions per batch.
+    pub batch: usize,
+    /// Zipfian skew of the workload.
+    pub theta: f64,
+    /// Read fraction of the workload.
+    pub pr: f64,
+    /// Total transactions executed.
+    pub txs: usize,
+    /// Throughput in transactions per second of wall-clock time.
+    pub throughput_tps: f64,
+    /// Average per-transaction latency in seconds.
+    pub avg_latency_s: f64,
+    /// Median per-transaction latency in seconds.
+    pub latency_p50_s: f64,
+    /// 99th-percentile per-transaction latency in seconds.
+    pub latency_p99_s: f64,
+    /// Total concurrency-control re-executions (the abort count).
+    pub aborts: u64,
+    /// Average re-executions per transaction.
+    pub aborts_per_tx: f64,
+    /// Transactions rejected by their own logic (committed as no-ops).
+    pub logical_rejections: u64,
+}
+
+/// Commit-pipeline stage occupancy of a cluster run, measured on the
+/// observer replica.
+#[derive(Clone, Debug, Serialize)]
+pub struct StageOccupancy {
+    /// Wall-clock seconds the validation stage was busy.
+    pub validate_busy_s: f64,
+    /// Wall-clock seconds the storage-apply stage was busy.
+    pub apply_busy_s: f64,
+    /// Wall-clock seconds the cross-shard execution stage was busy.
+    pub execute_busy_s: f64,
+    /// Validation's share of total stage time (0..=1).
+    pub validate_share: f64,
+    /// Apply's share of total stage time (0..=1).
+    pub apply_share: f64,
+    /// Execution's share of total stage time (0..=1).
+    pub execute_share: f64,
+    /// Write batches the pipelined applier coalesced with at least one
+    /// other batch.
+    pub coalesced_batches: u64,
+}
+
+/// One cluster scenario: a full multi-replica simulation under a fixed seed.
+#[derive(Clone, Debug, Serialize)]
+pub struct ClusterBench {
+    /// Scenario name (stable across reports; compare by this key).
+    pub scenario: String,
+    /// System variant label.
+    pub mode: String,
+    /// Committee size.
+    pub replicas: u32,
+    /// Fraction of cross-shard transactions.
+    pub cross_shard: f64,
+    /// Total committed transactions on the observer replica.
+    pub committed_txs: u64,
+    /// Committed single-shard (preplayed) transactions.
+    pub single_shard_txs: u64,
+    /// Committed cross-shard transactions.
+    pub cross_shard_txs: u64,
+    /// Preplayed blocks discarded by validation.
+    pub invalid_blocks: u64,
+    /// Throughput in transactions per second of simulated time.
+    pub throughput_tps: f64,
+    /// Average end-to-end latency in seconds of simulated time.
+    pub avg_latency_s: f64,
+    /// Median commit latency in seconds (log2-bucket upper bound).
+    pub latency_p50_s: f64,
+    /// 99th-percentile commit latency in seconds.
+    pub latency_p99_s: f64,
+    /// Completed reconfigurations.
+    pub reconfigurations: u64,
+    /// FNV-1a digest of the committed transaction order as a 16-hex-digit
+    /// string (equal digests mean two runs committed identically; expect
+    /// digests to differ between independently regenerated reports, see
+    /// `docs/PERF.md`).
+    pub commit_order_digest: String,
+    /// Commit-pipeline stage occupancy.
+    pub pipeline: StageOccupancy,
+}
+
+/// The full machine-readable report.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchReport {
+    /// Schema version (see `docs/PERF.md`).
+    pub schema_version: u32,
+    /// Unix timestamp (milliseconds) at which the report was generated.
+    pub generated_unix_ms: u64,
+    /// Scale label (`smoke`, `quick`, `full`).
+    pub scale: String,
+    /// Seed every benchmark ran under.
+    pub seed: u64,
+    /// Hardware threads available to the run (context for wall-clock rows).
+    pub cores: usize,
+    /// Per-engine executor measurements.
+    pub engines: Vec<EngineBench>,
+    /// Cluster scenario measurements.
+    pub clusters: Vec<ClusterBench>,
+}
+
+impl BenchReport {
+    /// Structural validation: the report covers every engine, at least one
+    /// cluster scenario, and every throughput is positive. This is what the
+    /// CI `perf-smoke` job enforces before uploading the artifact.
+    pub fn validate(&self) -> Result<(), String> {
+        for engine in Engine::BENCHED {
+            if !self.engines.iter().any(|e| e.engine == engine.label()) {
+                return Err(format!("missing engine row for {}", engine.label()));
+            }
+        }
+        if self.clusters.is_empty() {
+            return Err("no cluster scenarios recorded".to_string());
+        }
+        for row in &self.engines {
+            if row.throughput_tps <= 0.0 {
+                return Err(format!("non-positive throughput for engine {}", row.engine));
+            }
+            if row.latency_p99_s < row.latency_p50_s {
+                return Err(format!("p99 < p50 for engine {}", row.engine));
+            }
+        }
+        for row in &self.clusters {
+            if row.committed_txs == 0 {
+                return Err(format!("scenario {} committed nothing", row.scenario));
+            }
+            if row.throughput_tps <= 0.0 {
+                return Err(format!("non-positive throughput for {}", row.scenario));
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-key throughput ratios `self / baseline` over the rows both
+    /// reports share — the comparison `docs/PERF.md` describes. Keys are
+    /// `engine:<label>` and `cluster:<scenario>`.
+    pub fn throughput_ratios(&self, baseline: &BenchReport) -> Vec<(String, f64)> {
+        let mut ratios = Vec::new();
+        for row in &self.engines {
+            if let Some(base) = baseline.engines.iter().find(|b| {
+                b.engine == row.engine && b.batch == row.batch && b.executors == row.executors
+            }) {
+                if base.throughput_tps > 0.0 {
+                    ratios.push((
+                        format!("engine:{}", row.engine),
+                        row.throughput_tps / base.throughput_tps,
+                    ));
+                }
+            }
+        }
+        for row in &self.clusters {
+            if let Some(base) = baseline
+                .clusters
+                .iter()
+                .find(|b| b.scenario == row.scenario)
+            {
+                if base.throughput_tps > 0.0 {
+                    ratios.push((
+                        format!("cluster:{}", row.scenario),
+                        row.throughput_tps / base.throughput_tps,
+                    ));
+                }
+            }
+        }
+        ratios
+    }
+}
+
+/// Runs one engine under the report's fixed workload and collects the
+/// latency distribution alongside the throughput row.
+fn run_engine_bench(engine: Engine, scale: Scale) -> EngineBench {
+    let executors = scale.system_executors.max(2);
+    let batch = scale.system_batch.max(32);
+    let theta = 0.85;
+    let pr = 0.5;
+    let mut ce_config = CeConfig::new(executors, batch);
+    ce_config.synthetic_op_cost_ns = scale.op_cost_ns;
+    let runner = engine.build(ce_config);
+
+    let store = MemStore::new();
+    let mut workload = SmallBankWorkload::new(SmallBankConfig {
+        accounts: scale.executor_accounts,
+        theta,
+        pr_read: pr,
+        n_shards: 1,
+        seed: BENCH_SEED,
+        ..SmallBankConfig::default()
+    });
+    store.load(workload.initial_state());
+
+    let total_txs = scale.executor_txs;
+    let mut committed = 0usize;
+    let mut aborts = 0u64;
+    let mut logical_rejections = 0u64;
+    let mut latency_sum = 0.0f64;
+    let mut samples: Vec<f64> = Vec::with_capacity(total_txs);
+    let mut elapsed = 0.0f64;
+    let mut remaining = total_txs;
+    while remaining > 0 {
+        let size = batch.min(remaining);
+        let txs = workload.batch(size, SimTime::ZERO);
+        let result = runner.execute_batch(&txs, &store);
+        committed += result.committed();
+        aborts += result.reexecutions;
+        logical_rejections += result.logical_rejections;
+        latency_sum += result.total_latency.as_secs_f64();
+        samples.extend(result.latencies.iter().map(|d| d.as_secs_f64()));
+        elapsed += result.elapsed.as_secs_f64();
+        remaining -= size;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let quantile = |q: f64| -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let rank = ((samples.len() - 1) as f64 * q).round() as usize;
+        samples[rank]
+    };
+    EngineBench {
+        engine: engine.label().to_string(),
+        executors,
+        batch,
+        theta,
+        pr,
+        txs: committed,
+        throughput_tps: if elapsed > 0.0 {
+            committed as f64 / elapsed
+        } else {
+            0.0
+        },
+        avg_latency_s: if committed > 0 {
+            latency_sum / committed as f64
+        } else {
+            0.0
+        },
+        latency_p50_s: quantile(0.5),
+        latency_p99_s: quantile(0.99),
+        aborts,
+        aborts_per_tx: if committed > 0 {
+            aborts as f64 / committed as f64
+        } else {
+            0.0
+        },
+        logical_rejections,
+    }
+}
+
+/// Runs one cluster scenario and flattens its run report into a row.
+fn run_cluster_bench(
+    scenario: &str,
+    mode: ExecutionMode,
+    replicas: u32,
+    cross_shard: f64,
+    scale: Scale,
+) -> ClusterBench {
+    let mut run = SystemRun::new(mode, replicas, scale);
+    run.cross_shard = cross_shard;
+    run.seed = BENCH_SEED;
+    let report = run.run();
+    let (validate_share, apply_share, execute_share) = report.stage_occupancy();
+    ClusterBench {
+        scenario: scenario.to_string(),
+        mode: mode.label().to_string(),
+        replicas,
+        cross_shard,
+        committed_txs: report.committed_txs,
+        single_shard_txs: report.single_shard_txs,
+        cross_shard_txs: report.cross_shard_txs,
+        invalid_blocks: report.invalid_blocks,
+        throughput_tps: report.throughput_tps(),
+        avg_latency_s: report.avg_latency_secs(),
+        latency_p50_s: report.latency_p50_secs,
+        latency_p99_s: report.latency_p99_secs,
+        reconfigurations: report.reconfigurations,
+        commit_order_digest: report.commit_order_digest,
+        pipeline: StageOccupancy {
+            validate_busy_s: report.validate_busy_secs,
+            apply_busy_s: report.apply_busy_secs,
+            execute_busy_s: report.execute_busy_secs,
+            validate_share,
+            apply_share,
+            execute_share,
+            coalesced_batches: report.coalesced_batches,
+        },
+    }
+}
+
+/// Generates the full report at the given scale: all four engines plus the
+/// cluster scenarios (Thunderbolt single-shard, Thunderbolt with 20%
+/// cross-shard traffic, and the Tusk sequential baseline).
+pub fn generate(scale: Scale) -> BenchReport {
+    let engines = Engine::BENCHED
+        .iter()
+        .map(|&engine| run_engine_bench(engine, scale))
+        .collect();
+    let clusters = vec![
+        run_cluster_bench(
+            "thunderbolt-lan-n4",
+            ExecutionMode::Thunderbolt,
+            4,
+            0.0,
+            scale,
+        ),
+        run_cluster_bench(
+            "thunderbolt-cross20-n4",
+            ExecutionMode::Thunderbolt,
+            4,
+            0.2,
+            scale,
+        ),
+        run_cluster_bench("tusk-lan-n4", ExecutionMode::Tusk, 4, 0.0, scale),
+    ];
+    BenchReport {
+        schema_version: BENCH_REPORT_SCHEMA_VERSION,
+        generated_unix_ms: SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0),
+        scale: scale.label().to_string(),
+        seed: BENCH_SEED,
+        cores: tb_executor::available_cores(),
+        engines,
+        clusters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            executor_accounts: 64,
+            executor_txs: 64,
+            system_accounts: 64,
+            system_rounds: 6,
+            system_batch: 32,
+            system_executors: 2,
+            op_cost_ns: 0,
+        }
+    }
+
+    #[test]
+    fn generated_report_validates() {
+        let report = generate(tiny_scale());
+        report.validate().expect("tiny report must validate");
+        assert_eq!(report.engines.len(), 4);
+        assert_eq!(report.clusters.len(), 3);
+        assert_eq!(report.schema_version, BENCH_REPORT_SCHEMA_VERSION);
+        // The report is serializable and the JSON is non-trivial.
+        let json = crate::to_json(&report);
+        assert!(json.contains("\"engines\""));
+        assert!(json.contains("Thunderbolt"));
+        assert!(json.contains("\"pipeline\""));
+    }
+
+    #[test]
+    fn validation_rejects_missing_engines_and_empty_clusters() {
+        let mut report = generate(tiny_scale());
+        report.engines.retain(|e| e.engine != "Serial");
+        assert!(report.validate().is_err());
+        let mut report = generate(tiny_scale());
+        report.clusters.clear();
+        assert!(report.validate().is_err());
+    }
+
+    #[test]
+    fn throughput_ratios_align_on_shared_rows() {
+        let report = generate(tiny_scale());
+        let ratios = report.throughput_ratios(&report);
+        assert_eq!(ratios.len(), report.engines.len() + report.clusters.len());
+        for (key, ratio) in ratios {
+            assert!(
+                (ratio - 1.0).abs() < 1e-9,
+                "self-ratio for {key} is {ratio}"
+            );
+        }
+    }
+}

@@ -15,20 +15,36 @@
 //!    whose declared shard sets are disjoint run concurrently, conflicting
 //!    ones run in waves.
 
-use std::collections::HashSet;
-use std::time::Instant;
+use std::collections::{HashMap, HashSet};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
 use tb_contracts::{execute_call, StateAccess, TrackingState};
 use tb_dag::CommittedSubDag;
+use tb_executor::effective_workers;
 use tb_executor::validation::{validate_block, ValidationConfig};
-use tb_storage::{KvRead, KvWrite, MemStore};
-use tb_types::{BlockKind, PreplayedTx, ShardId, SimTime, Transaction, TxId, Value};
+use tb_storage::{KvRead, KvWrite, MemStore, Versioned, WriteBatch};
+use tb_types::{BlockKind, Key, PreplayedTx, ShardId, SimTime, Transaction, TxId, Value};
 
 /// How the pipeline executes transactions after consensus.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PostCommitExecution {
     /// Thunderbolt: validate preplayed single-shard results in parallel,
-    /// execute cross-shard transactions with shard-level parallelism.
+    /// execute cross-shard transactions with shard-level parallelism. The
+    /// stages run strictly one after the other: every block is validated and
+    /// applied before the next block is looked at.
     Parallel {
+        /// Number of validator / executor workers.
+        workers: usize,
+    },
+    /// Thunderbolt with the staged commit pipeline: the validation worker
+    /// pool re-executes block N+1 while block N's write batch is drained to
+    /// storage by a dedicated applier that coalesces queued batches
+    /// stripe-by-stripe ([`MemStore::apply_many`]). Commit order, applied
+    /// state and commit statistics are identical to [`Parallel`]; only the
+    /// wall-clock overlap differs.
+    ///
+    /// [`Parallel`]: PostCommitExecution::Parallel
+    Pipelined {
         /// Number of validator / executor workers.
         workers: usize,
     },
@@ -55,8 +71,25 @@ pub struct CommitOutput {
     /// Authors of the delivered Shift blocks.
     pub shift_authors: Vec<tb_types::ReplicaId>,
     /// Wall-clock time spent validating and executing, which the cluster
-    /// driver charges to the replica's simulated clock.
+    /// driver charges to the replica's simulated clock. With the pipelined
+    /// path this is the *overlapped* wall-clock time, which is why pipelining
+    /// shows up as throughput in the cluster simulation.
     pub busy: std::time::Duration,
+    /// Wall-clock time the validation stage was busy re-executing preplayed
+    /// blocks.
+    pub stage_validate: Duration,
+    /// Wall-clock time the apply stage was busy draining write batches to
+    /// storage.
+    pub stage_apply: Duration,
+    /// Wall-clock time the cross-shard execution stage was busy.
+    pub stage_execute: Duration,
+    /// Number of write batches the applier drained in one
+    /// [`MemStore::apply_many`] call together with at least one other batch
+    /// (a measure of how often the pipeline actually coalesced).
+    pub coalesced_batches: u64,
+    /// Per-transaction commit latencies in seconds of simulated time,
+    /// parallel to `committed`.
+    pub latency_samples_secs: Vec<f64>,
 }
 
 impl CommitOutput {
@@ -85,7 +118,10 @@ impl CommitPipeline {
     /// matching the cost model used during preplay.
     pub fn with_op_cost(execution: PostCommitExecution, op_cost_ns: u64) -> Self {
         let mut validation = match execution {
-            PostCommitExecution::Parallel { workers } => ValidationConfig::new(workers),
+            PostCommitExecution::Parallel { workers }
+            | PostCommitExecution::Pipelined { workers } => {
+                ValidationConfig::new(effective_workers(workers))
+            }
             PostCommitExecution::Serial => ValidationConfig::new(1),
         };
         validation.op_cost_ns = op_cost_ns;
@@ -130,51 +166,157 @@ impl CommitPipeline {
             cross_shard.extend(vertex.block.payload.cross_shard.iter());
         }
 
-        // G1: single-shard (preplayed) transactions first.
-        for block in preplayed_blocks {
-            let report = validate_block(block, store, &self.validation);
-            if !report.is_valid() {
-                output.invalid_blocks += 1;
-                continue;
+        // G1: single-shard (preplayed) transactions first. The pipelined
+        // path only pays its thread overhead when there is actual overlap to
+        // exploit (at least two blocks).
+        match self.execution {
+            PostCommitExecution::Pipelined { .. } if preplayed_blocks.len() > 1 => {
+                self.commit_preplayed_pipelined(&preplayed_blocks, store, commit_time, &mut output);
             }
-            let mut ordered: Vec<&PreplayedTx> = block.iter().collect();
-            ordered.sort_by_key(|p| p.order);
-            for p in &ordered {
-                for record in &p.outcome.write_set {
-                    store.put(record.key, record.value.clone());
-                }
-                output.committed.push((p.tx.id, commit_time));
-                output.total_latency_secs += commit_time
-                    .saturating_since(p.tx.submitted_at)
-                    .as_secs_f64();
+            _ => {
+                self.commit_preplayed_staged(&preplayed_blocks, store, commit_time, &mut output);
             }
-            output.single_shard_committed += ordered.len();
         }
 
         // G2: cross-shard transactions afterwards, in a deterministic order.
+        let execute_started = Instant::now();
         match self.execution {
             PostCommitExecution::Serial => {
                 for tx in &cross_shard {
                     Self::execute_one(tx, store, self.op_cost_ns);
-                    output.committed.push((tx.id, commit_time));
-                    output.total_latency_secs +=
-                        commit_time.saturating_since(tx.submitted_at).as_secs_f64();
+                    record_commit(&mut output, tx.id, tx.submitted_at, commit_time);
                 }
             }
-            PostCommitExecution::Parallel { workers } => {
+            PostCommitExecution::Parallel { workers }
+            | PostCommitExecution::Pipelined { workers } => {
                 for wave in shard_disjoint_waves(&cross_shard) {
                     execute_wave(&wave, store, workers, self.op_cost_ns);
                     for tx in wave {
-                        output.committed.push((tx.id, commit_time));
-                        output.total_latency_secs +=
-                            commit_time.saturating_since(tx.submitted_at).as_secs_f64();
+                        record_commit(&mut output, tx.id, tx.submitted_at, commit_time);
                     }
                 }
             }
         }
+        output.stage_execute += execute_started.elapsed();
         output.cross_shard_committed += cross_shard.len();
         output.busy = started.elapsed();
         output
+    }
+
+    /// The strictly staged G1 path: validate a block, apply its write batch,
+    /// move on to the next block.
+    fn commit_preplayed_staged(
+        &self,
+        blocks: &[&[PreplayedTx]],
+        store: &MemStore,
+        commit_time: SimTime,
+        output: &mut CommitOutput,
+    ) {
+        for block in blocks {
+            let validate_started = Instant::now();
+            let report = validate_block(block, store, &self.validation);
+            output.stage_validate += validate_started.elapsed();
+            if !report.is_valid() {
+                output.invalid_blocks += 1;
+                continue;
+            }
+            let (batch, ordered) = ordered_write_batch(block);
+            let apply_started = Instant::now();
+            store.apply_batch(&batch);
+            output.stage_apply += apply_started.elapsed();
+            for p in ordered {
+                record_commit(output, p.tx.id, p.tx.submitted_at, commit_time);
+            }
+            output.single_shard_committed += block.len();
+        }
+    }
+
+    /// The pipelined G1 path: the calling thread validates block N+1 while a
+    /// dedicated applier thread drains block N's (and earlier blocks') write
+    /// batches to storage, coalescing whatever has queued up into one
+    /// [`MemStore::apply_many`] call.
+    ///
+    /// Validation of block N+1 must observe block N's writes (consecutive
+    /// blocks from the same shard proposer chain on each other), so the
+    /// validator keeps the union of all sent-but-possibly-unapplied write
+    /// batches as an overlay and reads through it. A key present in the
+    /// overlay never reaches the store from the validation read path, which
+    /// is what makes the concurrent apply safe: the applier only ever writes
+    /// keys that are in the overlay.
+    fn commit_preplayed_pipelined(
+        &self,
+        blocks: &[&[PreplayedTx]],
+        store: &MemStore,
+        commit_time: SimTime,
+        output: &mut CommitOutput,
+    ) {
+        let (batch_tx, batch_rx) = mpsc::channel::<WriteBatch>();
+        let mut overlay: HashMap<Key, Versioned> = HashMap::new();
+        let (apply_busy, coalesced) = std::thread::scope(|scope| {
+            let applier = scope.spawn(move || {
+                let mut busy = Duration::ZERO;
+                let mut coalesced = 0u64;
+                let mut pending: Vec<WriteBatch> = Vec::new();
+                while let Ok(first) = batch_rx.recv() {
+                    pending.push(first);
+                    while let Ok(more) = batch_rx.try_recv() {
+                        pending.push(more);
+                    }
+                    let apply_started = Instant::now();
+                    store.apply_many(pending.iter());
+                    busy += apply_started.elapsed();
+                    if pending.len() > 1 {
+                        coalesced += pending.len() as u64;
+                    }
+                    pending.clear();
+                }
+                (busy, coalesced)
+            });
+
+            for block in blocks {
+                let validate_started = Instant::now();
+                let view = PendingApplyView {
+                    store,
+                    overlay: &overlay,
+                };
+                let report = validate_block(block, &view, &self.validation);
+                output.stage_validate += validate_started.elapsed();
+                if !report.is_valid() {
+                    output.invalid_blocks += 1;
+                    continue;
+                }
+                let (batch, ordered) = ordered_write_batch(block);
+                // Extend the overlay *before* handing the batch to the
+                // applier so the next block's validation reads never race
+                // with the concurrent apply. Pending entries carry the
+                // version the key will have once its batches are applied: a
+                // key absent from the overlay is in no in-flight batch, so
+                // the store's version is stable and the read is race-free.
+                for (key, value) in batch.iter() {
+                    match overlay.get_mut(key) {
+                        Some(pending) => {
+                            pending.version += 1;
+                            pending.value = value.clone();
+                        }
+                        None => {
+                            let base = store.get_versioned(key);
+                            overlay.insert(*key, Versioned::new(value.clone(), base.version + 1));
+                        }
+                    }
+                }
+                batch_tx
+                    .send(batch)
+                    .expect("applier outlives the validator");
+                for p in ordered {
+                    record_commit(output, p.tx.id, p.tx.submitted_at, commit_time);
+                }
+                output.single_shard_committed += block.len();
+            }
+            drop(batch_tx);
+            applier.join().expect("applier thread never panics")
+        });
+        output.stage_apply += apply_busy;
+        output.coalesced_batches += coalesced;
     }
 
     /// Executes a single transaction directly against the store (the OE
@@ -183,6 +325,56 @@ impl CommitPipeline {
         let mut session = StoreSession { store, op_cost_ns };
         let mut tracking = TrackingState::new(&mut session);
         let _ = execute_call(&tx.call, &mut tracking);
+    }
+}
+
+/// Records one committed transaction in the output: commit entry, summed
+/// latency, per-transaction latency sample.
+fn record_commit(output: &mut CommitOutput, id: TxId, submitted_at: SimTime, commit_time: SimTime) {
+    let latency = commit_time.saturating_since(submitted_at).as_secs_f64();
+    output.committed.push((id, commit_time));
+    output.total_latency_secs += latency;
+    output.latency_samples_secs.push(latency);
+}
+
+/// Builds the write batch of a validated block in its serialized order
+/// (later transactions overwrite earlier ones) and returns the transactions
+/// sorted by that order.
+fn ordered_write_batch(block: &[PreplayedTx]) -> (WriteBatch, Vec<&PreplayedTx>) {
+    let mut ordered: Vec<&PreplayedTx> = block.iter().collect();
+    ordered.sort_by_key(|p| p.order);
+    let mut batch = WriteBatch::new();
+    for p in &ordered {
+        batch.extend_from_write_set(&p.outcome.write_set);
+    }
+    (batch, ordered)
+}
+
+/// Committed storage plus the write batches the pipelined committer has
+/// already handed to the applier thread. Reads prefer the overlay, so a key
+/// whose batch is still in flight never reaches the store from the
+/// validation path (see [`CommitPipeline::commit_preplayed_pipelined`]).
+struct PendingApplyView<'a> {
+    store: &'a MemStore,
+    overlay: &'a HashMap<Key, Versioned>,
+}
+
+impl KvRead for PendingApplyView<'_> {
+    fn get(&self, key: &Key) -> Value {
+        match self.overlay.get(key) {
+            Some(pending) => pending.value.clone(),
+            None => self.store.get(key),
+        }
+    }
+
+    fn get_versioned(&self, key: &Key) -> Versioned {
+        // Overlay entries already carry the post-apply version (maintained
+        // by the validator), so this never reads the store for a key the
+        // applier might be writing concurrently.
+        match self.overlay.get(key) {
+            Some(pending) => pending.clone(),
+            None => self.store.get_versioned(key),
+        }
     }
 }
 
@@ -215,13 +407,14 @@ fn shard_disjoint_waves<'a>(txs: &[&'a Transaction]) -> Vec<Vec<&'a Transaction>
 /// Executes one wave of shard-disjoint transactions with up to `workers`
 /// threads.
 fn execute_wave(wave: &[&Transaction], store: &MemStore, workers: usize, op_cost_ns: u64) {
+    let workers = effective_workers(workers);
     if wave.len() <= 1 || workers <= 1 {
         for tx in wave {
             CommitPipeline::execute_one(tx, store, op_cost_ns);
         }
         return;
     }
-    let chunk = wave.len().div_ceil(workers.max(1));
+    let chunk = wave.len().div_ceil(workers);
     std::thread::scope(|scope| {
         for slice in wave.chunks(chunk) {
             scope.spawn(move || {
@@ -421,6 +614,119 @@ mod tests {
         assert_eq!(output.shift_blocks, 2);
         assert_eq!(output.shift_authors.len(), 2);
         assert_eq!(output.committed_count(), 0);
+    }
+
+    /// Builds one sub-DAG whose vertices carry one preplayed block each, in
+    /// delivery order — the shape the pipelined G1 path overlaps on.
+    fn sub_dag_with_blocks(committee: Committee, blocks: Vec<Vec<PreplayedTx>>) -> CommittedSubDag {
+        let mut builder = DagBuilder::new(committee, DagId::new(0), Round::ZERO);
+        let mut vertices = Vec::new();
+        for (author, block) in blocks.into_iter().enumerate() {
+            let payload = BlockPayload {
+                single_shard: block,
+                cross_shard: vec![],
+            };
+            vertices.push(builder.make_vertex(
+                ReplicaId::new(author as u32),
+                Round::ZERO,
+                BlockKind::Normal,
+                payload,
+                vec![],
+            ));
+        }
+        let leader = vertices.last().expect("at least one vertex").clone();
+        CommittedSubDag {
+            leader,
+            leader_round: Round::new(1),
+            vertices,
+        }
+    }
+
+    /// Preplays `rounds` consecutive SmallBank payment blocks, each chained
+    /// on the previous block's writes (the proposer-overlay situation the
+    /// pipelined validator must reproduce with its pending-apply overlay).
+    fn chained_blocks(accounts: u64, rounds: usize, per_block: usize) -> Vec<Vec<PreplayedTx>> {
+        let scratch = funded_store(accounts);
+        let ce = ConcurrentExecutor::new(CeConfig::new(2, 64).without_synthetic_cost());
+        let mut blocks = Vec::new();
+        let mut next_id = 0u64;
+        for _ in 0..rounds {
+            let txs: Vec<Transaction> = (0..per_block)
+                .map(|i| {
+                    next_id += 1;
+                    // Hot keys: every block touches account 0, so consecutive
+                    // blocks genuinely depend on each other.
+                    payment(next_id, 0, ((i as u64) % (accounts / 2)) * 2, 1, 1)
+                })
+                .collect();
+            let result = ce.preplay(&txs, &scratch);
+            result.apply_to(&scratch);
+            blocks.push(result.preplayed);
+        }
+        blocks
+    }
+
+    #[test]
+    fn pipelined_path_matches_staged_path_exactly() {
+        let committee = Committee::new(4);
+        let blocks = chained_blocks(8, 6, 10);
+        let staged_store = funded_store(8);
+        let pipelined_store = funded_store(8);
+        let sub_dag_staged = sub_dag_with_blocks(committee, blocks.clone());
+        let sub_dag_pipelined = sub_dag_with_blocks(committee, blocks);
+
+        let staged = CommitPipeline::new(PostCommitExecution::Parallel { workers: 2 });
+        let pipelined = CommitPipeline::new(PostCommitExecution::Pipelined { workers: 2 });
+        let staged_out = staged.process(&sub_dag_staged, &staged_store, SimTime::from_secs(1));
+        let pipelined_out =
+            pipelined.process(&sub_dag_pipelined, &pipelined_store, SimTime::from_secs(1));
+
+        assert_eq!(staged_out.invalid_blocks, 0);
+        assert_eq!(pipelined_out.invalid_blocks, 0);
+        // Same transactions, in the same commit order.
+        assert_eq!(staged_out.committed, pipelined_out.committed);
+        assert_eq!(
+            staged_out.single_shard_committed,
+            pipelined_out.single_shard_committed
+        );
+        // Same applied state.
+        let diff = staged_store
+            .snapshot()
+            .diff_values(&pipelined_store.snapshot());
+        assert!(diff.is_empty(), "state divergence on {diff:?}");
+        // The pipelined run measured both stages.
+        assert!(pipelined_out.stage_validate > std::time::Duration::ZERO);
+        assert!(pipelined_out.stage_apply > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn pipelined_path_discards_tampered_blocks_and_keeps_the_rest() {
+        let committee = Committee::new(4);
+        let mut blocks = chained_blocks(8, 4, 6);
+        // Tamper the second block: its writes must not be applied and the
+        // later blocks (which chain on block 1's honest writes, not block
+        // 2's) keep validating exactly as in the staged path.
+        blocks[1][0].outcome.write_set[0].value = Value::int(123_456_789);
+        let staged_store = funded_store(8);
+        let pipelined_store = funded_store(8);
+        let staged = CommitPipeline::new(PostCommitExecution::Parallel { workers: 2 });
+        let pipelined = CommitPipeline::new(PostCommitExecution::Pipelined { workers: 2 });
+        let staged_out = staged.process(
+            &sub_dag_with_blocks(committee, blocks.clone()),
+            &staged_store,
+            SimTime::from_secs(1),
+        );
+        let pipelined_out = pipelined.process(
+            &sub_dag_with_blocks(committee, blocks),
+            &pipelined_store,
+            SimTime::from_secs(1),
+        );
+        assert_eq!(staged_out.invalid_blocks, pipelined_out.invalid_blocks);
+        assert_eq!(staged_out.committed, pipelined_out.committed);
+        let diff = staged_store
+            .snapshot()
+            .diff_values(&pipelined_store.snapshot());
+        assert!(diff.is_empty(), "state divergence on {diff:?}");
     }
 
     #[test]

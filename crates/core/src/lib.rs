@@ -34,8 +34,8 @@ pub mod proposer;
 pub mod replica;
 
 pub use cluster::{ClusterConfig, ClusterSimulation, ExecutionMode};
-pub use commit::{CommitOutput, CommitPipeline};
+pub use commit::{CommitOutput, CommitPipeline, PostCommitExecution};
 pub use messages::Message;
-pub use metrics::{RoundCommitSample, RunReport};
+pub use metrics::{LatencyHistogram, RoundCommitSample, RunReport};
 pub use proposer::{ProposalDecision, ShardProposer};
 pub use replica::Replica;

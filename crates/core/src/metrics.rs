@@ -3,6 +3,76 @@
 use serde::{Deserialize, Serialize};
 use tb_types::{Round, SimTime};
 
+/// Number of power-of-two microsecond buckets in a [`LatencyHistogram`].
+const HIST_BUCKETS: usize = 64;
+
+/// A log₂-bucketed latency histogram over microseconds.
+///
+/// Bucket `i` (for `i >= 1`) holds samples in `[2^(i-1), 2^i)` µs; bucket 0
+/// holds sub-microsecond samples. Quantiles report the bucket's upper bound,
+/// so they are conservative (never under-report) and deterministic — exactly
+/// what a CI perf gate wants. Memory is constant regardless of run length,
+/// so every committed transaction of a simulation can be recorded.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Per-bucket sample counts.
+    buckets: Vec<u64>,
+    /// Total number of recorded samples.
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample given in seconds.
+    pub fn record_secs(&mut self, secs: f64) {
+        let micros = (secs.max(0.0) * 1e6) as u64;
+        let bucket = if micros == 0 {
+            0
+        } else {
+            (64 - micros.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in seconds: the upper bound of the
+    /// bucket containing the `ceil(q * count)`-th sample. Returns 0 with no
+    /// samples.
+    pub fn quantile_secs(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                let upper_micros = 1u64 << bucket;
+                return upper_micros as f64 / 1e6;
+            }
+        }
+        (1u64 << (HIST_BUCKETS - 1)) as f64 / 1e6
+    }
+}
+
 /// Commit-time sample for one leader round (Figure 16 plots the average of
 /// consecutive differences over windows of 100 rounds).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -42,6 +112,28 @@ pub struct RunReport {
     pub duration: SimTime,
     /// Sum of per-transaction latencies (commit − submission) in seconds.
     pub total_latency_secs: f64,
+    /// Median per-transaction commit latency in seconds (log₂-bucket upper
+    /// bound, see [`LatencyHistogram`]).
+    pub latency_p50_secs: f64,
+    /// 99th-percentile per-transaction commit latency in seconds.
+    pub latency_p99_secs: f64,
+    /// Wall-clock seconds the observer's validation stage was busy.
+    pub validate_busy_secs: f64,
+    /// Wall-clock seconds the observer's storage-apply stage was busy.
+    pub apply_busy_secs: f64,
+    /// Wall-clock seconds the observer's cross-shard execution stage was
+    /// busy.
+    pub execute_busy_secs: f64,
+    /// Write batches the pipelined applier drained together with at least
+    /// one other batch (0 on the strictly staged and serial paths).
+    pub coalesced_batches: u64,
+    /// FNV-1a digest over the committed transaction ids in commit order,
+    /// as a 16-hex-digit string (a string so JSON consumers never round it
+    /// to a 53-bit double). Two runs that committed the same transactions
+    /// in the same order have the same digest; note the converse workflow
+    /// caveat in `docs/PERF.md` — simulation schedules are timing-dependent,
+    /// so digests from independently regenerated reports normally differ.
+    pub commit_order_digest: String,
     /// Commit-time samples per leader round (for Figure 16).
     pub round_commits: Vec<RoundCommitSample>,
     /// Highest round reached on the observer replica.
@@ -90,6 +182,22 @@ impl RunReport {
                 ((i + 1) * window, avg)
             })
             .collect()
+    }
+
+    /// The share of measured stage time spent in each commit stage, as
+    /// `(validate, apply, execute)` fractions summing to 1 (all zero when
+    /// nothing was measured). This is the pipeline-stage-occupancy metric
+    /// recorded in `BENCH_report.json`.
+    pub fn stage_occupancy(&self) -> (f64, f64, f64) {
+        let total = self.validate_busy_secs + self.apply_busy_secs + self.execute_busy_secs;
+        if total <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.validate_busy_secs / total,
+            self.apply_busy_secs / total,
+            self.execute_busy_secs / total,
+        )
     }
 
     /// One-line summary used by the examples and the benchmark binaries.
@@ -143,6 +251,38 @@ mod tests {
         assert_eq!(report.throughput_tps(), 0.0);
         assert_eq!(report.avg_latency_secs(), 0.0);
         assert!(report.per_round_runtime(100).is_empty());
+    }
+
+    #[test]
+    fn latency_histogram_quantiles_are_bucket_upper_bounds() {
+        let mut hist = LatencyHistogram::new();
+        for _ in 0..99 {
+            hist.record_secs(0.000_003); // 3 µs -> bucket [2, 4) µs
+        }
+        hist.record_secs(0.5); // one slow outlier
+        assert_eq!(hist.count(), 100);
+        // p50 falls in the 3 µs bucket, whose upper bound is 4 µs.
+        assert!((hist.quantile_secs(0.5) - 4e-6).abs() < 1e-12);
+        // p99 still falls in the fast bucket (99 of 100 samples).
+        assert!((hist.quantile_secs(0.99) - 4e-6).abs() < 1e-12);
+        // p100 reports the outlier's bucket.
+        assert!(hist.quantile_secs(1.0) >= 0.5);
+        assert!(LatencyHistogram::new().quantile_secs(0.5) == 0.0);
+    }
+
+    #[test]
+    fn stage_occupancy_normalizes_to_shares() {
+        let report = RunReport {
+            validate_busy_secs: 3.0,
+            apply_busy_secs: 1.0,
+            execute_busy_secs: 0.0,
+            ..RunReport::default()
+        };
+        let (validate, apply, execute) = report.stage_occupancy();
+        assert!((validate - 0.75).abs() < 1e-9);
+        assert!((apply - 0.25).abs() < 1e-9);
+        assert_eq!(execute, 0.0);
+        assert_eq!(RunReport::default().stage_occupancy(), (0.0, 0.0, 0.0));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use crate::cluster::{ClusterConfig, ExecutionMode};
 use crate::commit::{CommitPipeline, PostCommitExecution};
 use crate::messages::Message;
-use crate::metrics::{RoundCommitSample, RunReport};
+use crate::metrics::{LatencyHistogram, RoundCommitSample, RunReport};
 use crate::proposer::{decide, ProposalContext, ProposalDecision, ShardProposer};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
@@ -72,8 +72,12 @@ struct PendingHeader {
     vertex_sent: bool,
 }
 
+/// FNV-1a 64-bit offset basis: the initial value of the commit-order digest
+/// (an all-zero seed would collapse zero-valued transaction ids).
+pub const COMMIT_DIGEST_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
 /// Counters accumulated by one replica over a run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ReplicaMetrics {
     /// Committed transactions (single-shard + cross-shard).
     pub committed_txs: u64,
@@ -89,8 +93,42 @@ pub struct ReplicaMetrics {
     pub reconfigurations: u64,
     /// Summed commit latencies in seconds.
     pub total_latency_secs: f64,
+    /// Histogram of per-transaction commit latencies.
+    pub latency_hist: LatencyHistogram,
+    /// Wall-clock time the validation stage was busy.
+    pub validate_busy: Duration,
+    /// Wall-clock time the storage-apply stage was busy.
+    pub apply_busy: Duration,
+    /// Wall-clock time the cross-shard execution stage was busy.
+    pub execute_busy: Duration,
+    /// Write batches drained together with at least one other batch by the
+    /// pipelined applier.
+    pub coalesced_batches: u64,
+    /// FNV-1a digest over committed transaction ids in commit order.
+    pub commit_order_digest: u64,
     /// Per-leader-round commit times.
     pub round_commits: Vec<RoundCommitSample>,
+}
+
+impl Default for ReplicaMetrics {
+    fn default() -> Self {
+        ReplicaMetrics {
+            committed_txs: 0,
+            single_shard_txs: 0,
+            cross_shard_txs: 0,
+            invalid_blocks: 0,
+            reexecutions: 0,
+            reconfigurations: 0,
+            total_latency_secs: 0.0,
+            latency_hist: LatencyHistogram::default(),
+            validate_busy: Duration::ZERO,
+            apply_busy: Duration::ZERO,
+            execute_busy: Duration::ZERO,
+            coalesced_batches: 0,
+            commit_order_digest: COMMIT_DIGEST_SEED,
+            round_commits: Vec::new(),
+        }
+    }
 }
 
 /// One Thunderbolt replica.
@@ -142,6 +180,12 @@ impl Replica {
             ExecutionMode::Tusk => {
                 CommitPipeline::with_op_cost(PostCommitExecution::Serial, op_cost)
             }
+            _ if config.system.pipelined_commit => CommitPipeline::with_op_cost(
+                PostCommitExecution::Pipelined {
+                    workers: config.system.validators,
+                },
+                op_cost,
+            ),
             _ => CommitPipeline::with_op_cost(
                 PostCommitExecution::Parallel {
                     workers: config.system.validators,
@@ -244,6 +288,13 @@ impl Replica {
             reconfigurations: self.metrics.reconfigurations,
             duration,
             total_latency_secs: self.metrics.total_latency_secs,
+            latency_p50_secs: self.metrics.latency_hist.quantile_secs(0.5),
+            latency_p99_secs: self.metrics.latency_hist.quantile_secs(0.99),
+            validate_busy_secs: self.metrics.validate_busy.as_secs_f64(),
+            apply_busy_secs: self.metrics.apply_busy.as_secs_f64(),
+            execute_busy_secs: self.metrics.execute_busy.as_secs_f64(),
+            coalesced_batches: self.metrics.coalesced_batches,
+            commit_order_digest: format!("{:016x}", self.metrics.commit_order_digest),
             round_commits: self.metrics.round_commits.clone(),
             highest_round: self.dag.highest_round(),
         }
@@ -604,6 +655,20 @@ impl Replica {
             self.metrics.cross_shard_txs += output.cross_shard_committed as u64;
             self.metrics.invalid_blocks += output.invalid_blocks as u64;
             self.metrics.total_latency_secs += output.total_latency_secs;
+            self.metrics.validate_busy += output.stage_validate;
+            self.metrics.apply_busy += output.stage_apply;
+            self.metrics.execute_busy += output.stage_execute;
+            self.metrics.coalesced_batches += output.coalesced_batches;
+            for latency in &output.latency_samples_secs {
+                self.metrics.latency_hist.record_secs(*latency);
+            }
+            for (tx_id, _) in &output.committed {
+                // FNV-1a fold over the commit order; honest replicas agree on
+                // the sequence, so they agree on the digest.
+                self.metrics.commit_order_digest = (self.metrics.commit_order_digest
+                    ^ tx_id.as_inner())
+                .wrapping_mul(0x0100_0000_01b3);
+            }
             self.metrics.round_commits.push(RoundCommitSample {
                 dag: self.dag_id.as_inner(),
                 round: sub_dag.leader_round,

@@ -1,0 +1,253 @@
+//! The staged commit pipeline must be a pure wall-clock optimisation:
+//! commit order and applied state are identical between the pipelined and
+//! the strictly staged (and the serial) commit paths, and on a multi-core
+//! machine the pipelined path is measurably faster.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+use tb_dag::{CommittedSubDag, DagBuilder};
+use tb_executor::{strict_figures_enabled, ConcurrentExecutor};
+use tb_storage::MemStore;
+use tb_types::{
+    BlockKind, BlockPayload, CeConfig, Committee, DagId, PreplayedTx, ReplicaId, Round, SimTime,
+    SystemConfig, Transaction,
+};
+use tb_workload::{SmallBankConfig, SmallBankWorkload};
+use thunderbolt::commit::{CommitPipeline, PostCommitExecution};
+use thunderbolt::{ClusterConfig, ExecutionMode, Message, Replica};
+
+fn seeded_workload(accounts: u64, seed: u64) -> SmallBankWorkload {
+    SmallBankWorkload::new(SmallBankConfig {
+        accounts,
+        n_shards: 1,
+        theta: 0.85,
+        seed,
+        ..SmallBankConfig::default()
+    })
+}
+
+fn funded_store(workload: &SmallBankWorkload) -> MemStore {
+    let store = MemStore::new();
+    store.load(workload.initial_state());
+    store
+}
+
+/// Preplays `rounds` consecutive blocks of a seeded SmallBank workload, each
+/// chained on the state the previous block left behind.
+fn seeded_blocks(rounds: usize, per_block: usize, op_cost_ns: u64) -> Vec<Vec<PreplayedTx>> {
+    let mut workload = seeded_workload(64, 7);
+    let scratch = funded_store(&workload);
+    let mut config = CeConfig::new(4, per_block);
+    config.synthetic_op_cost_ns = op_cost_ns;
+    let ce = ConcurrentExecutor::new(config);
+    let mut blocks = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let txs = workload.batch(per_block, SimTime::ZERO);
+        let result = ce.preplay(&txs, &scratch);
+        result.apply_to(&scratch);
+        blocks.push(result.preplayed);
+    }
+    blocks
+}
+
+fn sub_dag_of(blocks: &[Vec<PreplayedTx>]) -> CommittedSubDag {
+    let committee = Committee::new(4);
+    let mut builder = DagBuilder::new(committee, DagId::new(0), Round::ZERO);
+    let mut vertices = Vec::new();
+    for (i, block) in blocks.iter().enumerate() {
+        let payload = BlockPayload {
+            single_shard: block.clone(),
+            cross_shard: vec![],
+        };
+        vertices.push(builder.make_vertex(
+            ReplicaId::new((i % 4) as u32),
+            Round::new((i / 4) as u64),
+            BlockKind::Normal,
+            payload,
+            vec![],
+        ));
+    }
+    let leader = vertices.last().expect("at least one block").clone();
+    CommittedSubDag {
+        leader,
+        leader_round: Round::new(1),
+        vertices,
+    }
+}
+
+/// Acceptance gate of the pipelined commit engine: a seeded 20-block
+/// SmallBank run commits with >= 1.2x the throughput of the sequential
+/// path (`PostCommitExecution::Serial`: one validation worker, no overlap
+/// — the Tusk-style baseline), with identical final storage state. The
+/// speedup combines parallel validation with the validate/apply overlap;
+/// the overlap alone is not gated on wall-clock (the apply stage is a few
+/// percent of stage time — see `pipeline.apply_share` in
+/// `BENCH_report.json`), its correctness is what
+/// `pipelined_and_staged_clusters_commit_identically` below pins down.
+/// State equality is asserted unconditionally; the wall-clock inequality
+/// only under `TB_STRICT_FIGURES=1` on a machine with at least two cores,
+/// like every other wall-clock figure in the suite.
+#[test]
+fn pipelined_commit_beats_the_sequential_path_on_twenty_blocks() {
+    let blocks = seeded_blocks(20, 100, 20_000);
+    let sub_dag = sub_dag_of(&blocks);
+    let workload = seeded_workload(64, 7);
+
+    let run = |execution: PostCommitExecution| {
+        let store = funded_store(&workload);
+        let pipeline = CommitPipeline::with_op_cost(execution, 20_000);
+        let started = Instant::now();
+        let output = pipeline.process(&sub_dag, &store, SimTime::from_secs(1));
+        (store, output, started.elapsed())
+    };
+
+    let (serial_store, serial_out, serial_elapsed) = run(PostCommitExecution::Serial);
+    let (pipelined_store, pipelined_out, pipelined_elapsed) =
+        run(PostCommitExecution::Pipelined { workers: 8 });
+
+    assert_eq!(serial_out.invalid_blocks, 0, "honest blocks must validate");
+    assert_eq!(pipelined_out.invalid_blocks, 0);
+    assert_eq!(serial_out.committed, pipelined_out.committed);
+    let diff = serial_store
+        .snapshot()
+        .diff_values(&pipelined_store.snapshot());
+    assert!(diff.is_empty(), "state divergence on {diff:?}");
+
+    if strict_figures_enabled() {
+        let speedup = serial_elapsed.as_secs_f64() / pipelined_elapsed.as_secs_f64().max(1e-9);
+        assert!(
+            speedup >= 1.2,
+            "pipelined commit path is only {speedup:.2}x faster than the sequential path \
+             (serial {serial_elapsed:?}, pipelined {pipelined_elapsed:?})"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic cluster comparison: pipelined vs strictly staged replicas
+// must commit the same sequence and end in the same state.
+// ---------------------------------------------------------------------------
+
+fn cluster_config(pipelined: bool) -> ClusterConfig {
+    let mut system = SystemConfig::with_replicas(4);
+    // One preplay executor: the concurrent executor's emitted order is
+    // scheduling-dependent with more than one worker, and this test isolates
+    // the *commit path* as the only possible source of divergence.
+    system.ce = CeConfig::new(1, 64).without_synthetic_cost();
+    system.validators = 2;
+    system.pipelined_commit = pipelined;
+    ClusterConfig {
+        system,
+        mode: ExecutionMode::Thunderbolt,
+        use_skip_blocks: false,
+        seed: 7,
+        label: None,
+    }
+}
+
+/// Synchronous, wall-clock-free message driver (FIFO delivery, zero
+/// latency): both runs see the exact same message schedule, so any
+/// divergence can only come from the commit path itself.
+fn run_synchronously(replicas: &mut [Replica], rounds_budget: usize) {
+    let mut inbox: VecDeque<(ReplicaId, ReplicaId, Message)> = VecDeque::new();
+    let now = SimTime::ZERO;
+    let n = replicas.len();
+    let enqueue = |inbox: &mut VecDeque<(ReplicaId, ReplicaId, Message)>,
+                   from: ReplicaId,
+                   outbound: thunderbolt::replica::Outbound| {
+        match outbound.dest {
+            thunderbolt::replica::Destination::Broadcast => {
+                for to in 0..n {
+                    inbox.push_back((from, ReplicaId::new(to as u32), outbound.msg.clone()));
+                }
+            }
+            thunderbolt::replica::Destination::To(to) => inbox.push_back((from, to, outbound.msg)),
+        }
+    };
+    for replica in replicas.iter_mut() {
+        for outbound in replica.start(now) {
+            enqueue(&mut inbox, replica.id(), outbound);
+        }
+    }
+    let mut steps = 0usize;
+    let budget = rounds_budget * n * n * 20;
+    while let Some((from, to, msg)) = inbox.pop_front() {
+        steps += 1;
+        if steps > budget {
+            break;
+        }
+        let replica = &mut replicas[to.as_inner() as usize];
+        if replica.current_round().as_u64() >= rounds_budget as u64 {
+            continue;
+        }
+        for outbound in replica.handle(from, msg, now) {
+            enqueue(&mut inbox, replica.id(), outbound);
+        }
+    }
+}
+
+fn run_cluster(pipelined: bool) -> Vec<Replica> {
+    let cfg = cluster_config(pipelined);
+    let mut workload = SmallBankWorkload::new(SmallBankConfig {
+        accounts: 64,
+        n_shards: 4,
+        cross_shard_fraction: 0.2,
+        seed: 99,
+        ..SmallBankConfig::default()
+    });
+    let mut replicas: Vec<Replica> = (0..4)
+        .map(|i| {
+            let mut replica = Replica::new(ReplicaId::new(i), cfg.clone());
+            replica.load_state(workload.initial_state());
+            replica
+        })
+        .collect();
+    // Route a seeded stream of transactions to the replica serving each
+    // transaction's home shard (replica i serves shard i in DAG 0).
+    let txs: Vec<Transaction> = (0..400)
+        .map(|_| workload.next_transaction(SimTime::ZERO))
+        .collect();
+    for tx in txs {
+        let home = tx.home_shard().as_inner() as usize;
+        replicas[home].enqueue(tx);
+    }
+    run_synchronously(&mut replicas, 10);
+    replicas
+}
+
+#[test]
+fn pipelined_and_staged_clusters_commit_identically() {
+    let pipelined = run_cluster(true);
+    let staged = run_cluster(false);
+    for (a, b) in pipelined.iter().zip(staged.iter()) {
+        assert!(
+            a.metrics().committed_txs > 0,
+            "replica {} committed nothing",
+            a.id()
+        );
+        assert_eq!(
+            a.metrics().committed_txs,
+            b.metrics().committed_txs,
+            "replica {} committed different amounts",
+            a.id()
+        );
+        assert_eq!(
+            a.metrics().commit_order_digest,
+            b.metrics().commit_order_digest,
+            "replica {} committed a different order",
+            a.id()
+        );
+        let diff = a.store().snapshot().diff_values(&b.store().snapshot());
+        assert!(
+            diff.is_empty(),
+            "replica {} state diverged on {diff:?}",
+            a.id()
+        );
+    }
+    // The pipelined cluster must not be slower in *simulated* work: same
+    // committed sequence means same round commits.
+    assert_eq!(
+        pipelined[0].metrics().round_commits.len(),
+        staged[0].metrics().round_commits.len()
+    );
+}

@@ -49,6 +49,10 @@ pub struct BatchResult {
     /// commit; divided by the batch size this is the average transaction
     /// latency reported in Figures 11 and 12.
     pub total_latency: Duration,
+    /// Per-transaction latency samples (first execution attempt to commit),
+    /// in no particular order. The perf-regression harness computes p50/p99
+    /// from these; they sum to [`BatchResult::total_latency`].
+    pub latencies: Vec<Duration>,
 }
 
 impl BatchResult {

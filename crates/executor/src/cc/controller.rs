@@ -352,11 +352,15 @@ impl<'a> ConcurrencyController<'a> {
     }
 
     /// Assembles the preplay output for the batch: every committed
-    /// transaction with its outcome, ordered by commit index, plus the sum of
-    /// per-transaction latencies.
-    pub fn collect_results(&self, txs: &[Transaction]) -> (Vec<PreplayedTx>, Duration) {
+    /// transaction with its outcome, ordered by commit index, plus the sum
+    /// and the individual per-transaction latencies.
+    pub fn collect_results(
+        &self,
+        txs: &[Transaction],
+    ) -> (Vec<PreplayedTx>, Duration, Vec<Duration>) {
         let graph = self.graph.lock();
         let mut total_latency = Duration::ZERO;
+        let mut latencies = Vec::with_capacity(graph.committed_count());
         let mut preplayed = Vec::with_capacity(graph.committed_count());
         for (idx, node) in graph.iter() {
             if node.status != TxnStatus::Committed {
@@ -365,12 +369,14 @@ impl<'a> ConcurrencyController<'a> {
             let order = node.commit_index.expect("committed nodes have an index");
             let outcome = node.outcome();
             if let (Some(started), Some(committed)) = (node.started_at, node.committed_at) {
-                total_latency += committed.duration_since(started);
+                let latency = committed.duration_since(started);
+                total_latency += latency;
+                latencies.push(latency);
             }
             preplayed.push(PreplayedTx::new(txs[idx].clone(), outcome, order));
         }
         preplayed.sort_by_key(|p| p.order);
-        (preplayed, total_latency)
+        (preplayed, total_latency, latencies)
     }
 }
 
@@ -451,7 +457,7 @@ mod tests {
         cc.finish(a, CallResult::ok(Value::None));
         assert!(cc.all_committed());
         assert_eq!(cc.committed_order(), vec![0, 1]);
-        let (preplayed, _) = cc.collect_results(&txs);
+        let (preplayed, _, _) = cc.collect_results(&txs);
         // Serialized order puts a's write first, so the final value is b's.
         assert_eq!(preplayed[0].tx.id, TxId::new(0));
         assert_eq!(preplayed[1].tx.id, TxId::new(1));
@@ -544,7 +550,7 @@ mod tests {
         assert!(cc.all_committed());
         assert_eq!(cc.committed_order(), vec![0, 2, 1]);
         assert_eq!(cc.total_aborts(), 2);
-        let (preplayed, _) = cc.collect_results(&txs);
+        let (preplayed, _, _) = cc.collect_results(&txs);
         assert_eq!(preplayed.len(), 3);
         assert!(preplayed.iter().all(|p| p.order < 3));
     }
@@ -645,7 +651,7 @@ mod tests {
                 .unwrap();
             cc.finish(h, CallResult::ok(Value::int(idx as i64)));
         }
-        let (preplayed, _) = cc.collect_results(&txs);
+        let (preplayed, _, _) = cc.collect_results(&txs);
         assert_eq!(preplayed.len(), 3);
         assert_eq!(preplayed[0].tx.id, TxId::new(2));
         assert_eq!(preplayed[0].order, 0);

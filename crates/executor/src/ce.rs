@@ -119,7 +119,7 @@ impl ConcurrentExecutor {
         }
         debug_assert!(controller.all_committed());
 
-        let (preplayed, total_latency) = controller.collect_results(txs);
+        let (preplayed, total_latency, latencies) = controller.collect_results(txs);
         let logical_rejections = preplayed
             .iter()
             .filter(|p| p.outcome.logically_aborted)
@@ -130,6 +130,7 @@ impl ConcurrentExecutor {
             logical_rejections,
             elapsed: started.elapsed(),
             total_latency,
+            latencies,
         }
     }
 }

@@ -35,6 +35,6 @@ pub use cc::controller::{ConcurrencyController, FinishStatus};
 pub use ce::ConcurrentExecutor;
 pub use occ::OccExecutor;
 pub use serial::SerialExecutor;
-pub use traits::BatchExecutor;
+pub use traits::{available_cores, effective_workers, strict_figures_enabled, BatchExecutor};
 pub use two_pl::TwoPlNoWaitExecutor;
 pub use validation::{validate_block, ValidationConfig, ValidationReport};

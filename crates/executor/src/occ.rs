@@ -152,10 +152,12 @@ impl BatchExecutor for OccExecutor {
 
         let slots = verifier.into_inner();
         let mut total_latency = Duration::ZERO;
+        let mut latencies = Vec::with_capacity(txs.len());
         let mut preplayed: Vec<PreplayedTx> = Vec::with_capacity(txs.len());
         let mut logical_rejections = 0;
         for slot in slots.into_iter().flatten() {
             total_latency += slot.1;
+            latencies.push(slot.1);
             if slot.0.outcome.logically_aborted {
                 logical_rejections += 1;
             }
@@ -168,6 +170,7 @@ impl BatchExecutor for OccExecutor {
             logical_rejections,
             elapsed: started.elapsed(),
             total_latency,
+            latencies,
         }
     }
 }

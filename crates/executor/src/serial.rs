@@ -63,6 +63,7 @@ impl BatchExecutor for SerialExecutor {
         let started = Instant::now();
         let mut preplayed = Vec::with_capacity(txs.len());
         let mut total_latency = Duration::ZERO;
+        let mut latencies = Vec::with_capacity(txs.len());
         let mut logical_rejections = 0;
         for (order, tx) in txs.iter().enumerate() {
             let tx_started = Instant::now();
@@ -79,7 +80,9 @@ impl BatchExecutor for SerialExecutor {
             if outcome.logically_aborted {
                 logical_rejections += 1;
             }
-            total_latency += tx_started.elapsed();
+            let latency = tx_started.elapsed();
+            total_latency += latency;
+            latencies.push(latency);
             preplayed.push(PreplayedTx::new(tx.clone(), outcome, order as u32));
         }
         BatchResult {
@@ -88,6 +91,7 @@ impl BatchExecutor for SerialExecutor {
             logical_rejections,
             elapsed: started.elapsed(),
             total_latency,
+            latencies,
         }
     }
 }

@@ -23,6 +23,33 @@ pub trait BatchExecutor: Send + Sync {
     }
 }
 
+/// Number of hardware threads the current process may use, falling back to 1
+/// when the platform cannot tell (the conservative answer for perf gates).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Clamps a requested worker count to `[1, available_cores()]`.
+///
+/// Every thread pool in the workspace (validation, the commit pipeline,
+/// post-consensus wave execution) sizes itself through this function so a
+/// configuration tuned for a 16-core machine degrades gracefully on a
+/// single-core CI runner instead of oversubscribing it.
+pub fn effective_workers(requested: usize) -> usize {
+    requested.clamp(1, available_cores())
+}
+
+/// True if the environment opted into the strict wall-clock figure
+/// assertions (`TB_STRICT_FIGURES=1`) *and* the machine has at least two
+/// hardware threads. Wall-clock comparisons between threaded engines are
+/// decided by preemption luck on a single-core runner, so the gate refuses
+/// to arm itself there even when the variable is set.
+pub fn strict_figures_enabled() -> bool {
+    std::env::var("TB_STRICT_FIGURES").is_ok_and(|v| v == "1") && available_cores() >= 2
+}
+
 /// Spin-waits for approximately `nanos` nanoseconds.
 ///
 /// Used to model the interpretation overhead a real contract VM adds to every

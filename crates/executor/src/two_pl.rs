@@ -218,9 +218,11 @@ impl BatchExecutor for TwoPlNoWaitExecutor {
         let slots = slots.into_inner();
         let mut preplayed = Vec::with_capacity(txs.len());
         let mut total_latency = Duration::ZERO;
+        let mut latencies = Vec::with_capacity(txs.len());
         let mut logical_rejections = 0;
         for slot in slots.into_iter().flatten() {
             total_latency += slot.1;
+            latencies.push(slot.1);
             if slot.0.outcome.logically_aborted {
                 logical_rejections += 1;
             }
@@ -233,6 +235,7 @@ impl BatchExecutor for TwoPlNoWaitExecutor {
             logical_rejections,
             elapsed: started.elapsed(),
             total_latency,
+            latencies,
         }
     }
 }

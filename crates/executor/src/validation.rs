@@ -145,7 +145,7 @@ pub fn validate_block(
     }
     let timeline = WriteTimeline::build(preplayed);
     let mismatches: Mutex<Vec<TxId>> = Mutex::new(Vec::new());
-    let workers = config.validators.max(1).min(preplayed.len());
+    let workers = crate::traits::effective_workers(config.validators).min(preplayed.len());
     let chunk_size = preplayed.len().div_ceil(workers);
     let op_cost = config.op_cost_ns;
 

@@ -4,14 +4,28 @@
 //! write sets at once; a [`WriteBatch`] collects those writes (last write per
 //! key wins) so the store can apply them atomically.
 
+use std::collections::HashMap;
 use tb_types::{AccessRecord, Key, Value, WriteSet};
 
 /// A set of writes applied atomically. Within a batch, later writes to the
 /// same key overwrite earlier ones.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// The batch keeps a key → slot index so deduplication stays O(1) per write;
+/// commit-path batches carry hundreds of writes and are built on the hot
+/// path.
+#[derive(Clone, Debug, Default)]
 pub struct WriteBatch {
     writes: Vec<(Key, Value)>,
+    index: HashMap<Key, usize>,
 }
+
+impl PartialEq for WriteBatch {
+    fn eq(&self, other: &Self) -> bool {
+        self.writes == other.writes
+    }
+}
+
+impl Eq for WriteBatch {}
 
 impl WriteBatch {
     /// Creates an empty batch.
@@ -23,15 +37,18 @@ impl WriteBatch {
     pub fn with_capacity(cap: usize) -> Self {
         WriteBatch {
             writes: Vec::with_capacity(cap),
+            index: HashMap::with_capacity(cap),
         }
     }
 
     /// Adds a write, overwriting any earlier write to the same key.
     pub fn put(&mut self, key: Key, value: Value) {
-        if let Some(existing) = self.writes.iter_mut().find(|(k, _)| *k == key) {
-            existing.1 = value;
-        } else {
-            self.writes.push((key, value));
+        match self.index.get(&key) {
+            Some(&slot) => self.writes[slot].1 = value,
+            None => {
+                self.index.insert(key, self.writes.len());
+                self.writes.push((key, value));
+            }
         }
     }
 

@@ -61,9 +61,48 @@ impl MemStore {
     /// The batch is applied stripe by stripe; the per-key versions are bumped
     /// exactly once per written key.
     pub fn apply_batch(&self, batch: &WriteBatch) {
-        for (key, value) in batch.iter() {
-            self.put(*key, value.clone());
+        self.apply_many(std::iter::once(batch));
+    }
+
+    /// Applies a sequence of write batches, coalescing them stripe by stripe.
+    ///
+    /// Observably equivalent to calling [`MemStore::apply_batch`] on each
+    /// batch in order — same final values, same per-key versions, same
+    /// [`StoreStats`] — but each lock stripe is written under a single lock
+    /// acquisition for the whole sequence instead of one acquisition per key
+    /// per batch. This is what the pipelined commit path uses to drain the
+    /// apply queue while the next block is still being validated.
+    ///
+    /// Writes to one key keep their cross-batch order because a key always
+    /// hashes to the same stripe and the per-stripe buckets preserve the
+    /// `(batch, insertion)` order of the input.
+    pub fn apply_many<'a, I>(&self, batches: I)
+    where
+        I: IntoIterator<Item = &'a WriteBatch>,
+    {
+        let mut per_stripe: Vec<Vec<(Key, &'a Value)>> = vec![Vec::new(); STRIPES];
+        let mut total = 0u64;
+        for batch in batches {
+            for (key, value) in batch.iter() {
+                per_stripe[self.stripe_of(key)].push((*key, value));
+                total += 1;
+            }
         }
+        if total == 0 {
+            return;
+        }
+        for (idx, writes) in per_stripe.into_iter().enumerate() {
+            if writes.is_empty() {
+                continue;
+            }
+            let mut guard = self.stripes[idx].write();
+            for (key, value) in writes {
+                let entry = guard.entry(key).or_default();
+                entry.version += 1;
+                entry.value = value.clone();
+            }
+        }
+        self.total_writes.fetch_add(total, Ordering::Relaxed);
     }
 
     /// Takes a consistent point-in-time snapshot of the whole store.

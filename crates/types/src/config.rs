@@ -160,6 +160,11 @@ pub struct SystemConfig {
     /// Number of validator workers re-checking preplay results after
     /// consensus (the paper uses 16).
     pub validators: usize,
+    /// Overlap post-consensus validation of block N+1 with the storage apply
+    /// of block N (the staged commit pipeline). Disable to force the
+    /// strictly staged path; commit order and applied state are identical
+    /// either way.
+    pub pipelined_commit: bool,
     /// Reconfiguration parameters.
     pub reconfig: ReconfigConfig,
     /// Network latency model.
@@ -177,6 +182,7 @@ impl Default for SystemConfig {
             n_replicas: 4,
             ce: CeConfig::default(),
             validators: 16,
+            pipelined_commit: true,
             reconfig: ReconfigConfig::default(),
             latency: LatencyModel::lan(),
             leader_timeout: SimTime::from_millis(50),
