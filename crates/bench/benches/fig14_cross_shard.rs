@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tb_bench::{Scale, SystemRun};
-use thunderbolt::ExecutionMode;
+use tb_core::ExecutionMode;
 
 fn small_scale() -> Scale {
     let mut scale = Scale::quick();

@@ -2,8 +2,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tb_bench::{Scale, SystemRun};
+use tb_core::ExecutionMode;
 use tb_types::ReconfigConfig;
-use thunderbolt::ExecutionMode;
 
 fn small_scale() -> Scale {
     let mut scale = Scale::quick();

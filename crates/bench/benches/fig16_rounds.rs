@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tb_bench::{Scale, SystemRun};
+use tb_core::ExecutionMode;
 use tb_types::ReconfigConfig;
-use thunderbolt::ExecutionMode;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig16_rounds");

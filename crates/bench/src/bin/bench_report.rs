@@ -51,13 +51,14 @@ fn main() {
         );
     }
     println!(
-        "\n{:<24} {:>12} {:>12} {:>12} {:>9} {:>9} {:>9}",
-        "scenario", "tps", "p50(s)", "p99(s)", "val%", "apply%", "exec%"
+        "\n{:<24} {:<10} {:>12} {:>12} {:>12} {:>9} {:>9} {:>9}",
+        "scenario", "workload", "tps", "p50(s)", "p99(s)", "val%", "apply%", "exec%"
     );
     for row in &report.clusters {
         println!(
-            "{:<24} {:>12.0} {:>12.6} {:>12.6} {:>8.1}% {:>8.1}% {:>8.1}%",
+            "{:<24} {:<10} {:>12.0} {:>12.6} {:>12.6} {:>8.1}% {:>8.1}% {:>8.1}%",
             row.scenario,
+            row.workload,
             row.throughput_tps,
             row.latency_p50_s,
             row.latency_p99_s,

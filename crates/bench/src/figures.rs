@@ -7,8 +7,8 @@
 //! paper's numbers.
 
 use crate::{print_exec_rows, print_reports, run_executor_cell, Engine, ExecRow, Scale, SystemRun};
+use tb_core::{ExecutionMode, RunReport};
 use tb_types::{LatencyModel, ReconfigConfig};
-use thunderbolt::{ExecutionMode, RunReport};
 
 /// Figure 11: concurrent-executor throughput / latency / re-executions as a
 /// function of the number of executors, for batch sizes 300 and 500, under a

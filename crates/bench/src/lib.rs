@@ -20,6 +20,7 @@ pub mod figures;
 pub mod report;
 
 use serde::Serialize;
+use tb_core::{ExecutionMode, RunReport, ScenarioBuilder};
 use tb_executor::{
     BatchExecutor, ConcurrentExecutor, OccExecutor, SerialExecutor, TwoPlNoWaitExecutor,
 };
@@ -27,7 +28,6 @@ use tb_network::FaultPlan;
 use tb_storage::MemStore;
 use tb_types::{CeConfig, LatencyModel, ReconfigConfig, SimTime};
 use tb_workload::{SmallBankConfig, SmallBankWorkload};
-use thunderbolt::{ClusterConfig, ClusterSimulation, ExecutionMode, RunReport};
 
 /// Scaling profile of the harness.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -289,29 +289,34 @@ impl SystemRun {
 
     /// Executes the run and returns the report.
     pub fn run(&self) -> RunReport {
-        let mut config = ClusterConfig::thunderbolt(self.replicas);
-        config.mode = self.mode;
-        config.seed = self.seed;
-        config.system.ce = CeConfig::new(self.scale.system_executors, self.scale.system_batch);
-        config.system.ce.synthetic_op_cost_ns = self.scale.op_cost_ns;
-        config.system.validators = self.scale.system_executors;
-        config.system.max_rounds = self.scale.system_rounds;
-        config.system.latency = self.latency;
-        config.system.reconfig = self.reconfig;
-
         let workload = SmallBankConfig {
             accounts: self.scale.system_accounts,
             n_shards: self.replicas,
             cross_shard_fraction: self.cross_shard,
             ..SmallBankConfig::default()
         };
+        self.scenario().workload(workload).run()
+    }
+
+    /// The figure's system parameters as a [`ScenarioBuilder`], so callers
+    /// can swap the workload (or any other knob) before running.
+    pub fn scenario(&self) -> ScenarioBuilder {
         let faults = if self.crashed > 0 {
             FaultPlan::crash_replicas(self.replicas, self.crashed, SimTime::ZERO)
         } else {
             FaultPlan::none()
         };
-        let mut sim = ClusterSimulation::new(config, workload, faults);
-        sim.run()
+        let op_cost_ns = self.scale.op_cost_ns;
+        ScenarioBuilder::new(self.replicas)
+            .engine(self.mode)
+            .executors(self.scale.system_executors, self.scale.system_batch)
+            .validators(self.scale.system_executors)
+            .rounds(self.scale.system_rounds)
+            .seed(self.seed)
+            .latency(self.latency)
+            .reconfig(self.reconfig)
+            .faults(faults)
+            .tune(|system| system.ce.synthetic_op_cost_ns = op_cost_ns)
     }
 }
 

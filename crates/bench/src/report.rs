@@ -14,13 +14,17 @@
 use crate::{Engine, Scale, SystemRun};
 use serde::Serialize;
 use std::time::SystemTime;
+use tb_core::ExecutionMode;
 use tb_storage::MemStore;
 use tb_types::{CeConfig, SimTime};
-use tb_workload::{SmallBankConfig, SmallBankWorkload};
-use thunderbolt::ExecutionMode;
+use tb_workload::{
+    ContractWorkloadConfig, KvWorkloadConfig, SmallBankConfig, SmallBankWorkload, Workload,
+};
 
 /// Version of the `BENCH_report.json` schema (see `docs/PERF.md`).
-pub const BENCH_REPORT_SCHEMA_VERSION: u32 = 1;
+/// v2: cluster rows carry a `workload` field and the scenario set grew the
+/// contract and hot-key KV workloads.
+pub const BENCH_REPORT_SCHEMA_VERSION: u32 = 2;
 
 /// Fixed seed for every benchmark in the report, so two reports from the
 /// same tree are comparable run over run.
@@ -86,9 +90,15 @@ pub struct ClusterBench {
     pub scenario: String,
     /// System variant label.
     pub mode: String,
+    /// Stable workload name (`smallbank`, `contract`, `kv-hot`), so two
+    /// scenarios under the same engine remain distinguishable.
+    pub workload: String,
     /// Committee size.
     pub replicas: u32,
-    /// Fraction of cross-shard transactions.
+    /// Measured fraction of committed transactions that took the
+    /// cross-shard (order-first) path. Derived from the run — not the
+    /// configured mix — so workloads without a cross-shard knob (and
+    /// single-shard conversions under rules P3/P4) are reported honestly.
     pub cross_shard: f64,
     /// Total committed transactions on the observer replica.
     pub committed_txs: u64,
@@ -163,6 +173,14 @@ impl BenchReport {
             }
             if row.throughput_tps <= 0.0 {
                 return Err(format!("non-positive throughput for {}", row.scenario));
+            }
+            if row.workload.is_empty() {
+                return Err(format!("scenario {} has no workload name", row.scenario));
+            }
+        }
+        for workload in ["smallbank", "contract", "kv-hot"] {
+            if !self.clusters.iter().any(|c| c.workload == workload) {
+                return Err(format!("missing cluster scenario for workload {workload}"));
             }
         }
         Ok(())
@@ -282,24 +300,30 @@ fn run_engine_bench(engine: Engine, scale: Scale) -> EngineBench {
     }
 }
 
-/// Runs one cluster scenario and flattens its run report into a row.
+/// Runs one cluster scenario — the figure-scale system parameters with the
+/// given workload plugged in through the `Workload` trait — and flattens its
+/// run report into a row.
 fn run_cluster_bench(
     scenario: &str,
     mode: ExecutionMode,
     replicas: u32,
-    cross_shard: f64,
+    workload: Box<dyn Workload>,
     scale: Scale,
 ) -> ClusterBench {
     let mut run = SystemRun::new(mode, replicas, scale);
-    run.cross_shard = cross_shard;
     run.seed = BENCH_SEED;
-    let report = run.run();
+    let report = run.scenario().workload(workload).run();
     let (validate_share, apply_share, execute_share) = report.stage_occupancy();
     ClusterBench {
         scenario: scenario.to_string(),
         mode: mode.label().to_string(),
+        workload: report.workload.clone(),
         replicas,
-        cross_shard,
+        cross_shard: if report.committed_txs > 0 {
+            report.cross_shard_txs as f64 / report.committed_txs as f64
+        } else {
+            0.0
+        },
         committed_txs: report.committed_txs,
         single_shard_txs: report.single_shard_txs,
         cross_shard_txs: report.cross_shard_txs,
@@ -323,29 +347,65 @@ fn run_cluster_bench(
 }
 
 /// Generates the full report at the given scale: all four engines plus the
-/// cluster scenarios (Thunderbolt single-shard, Thunderbolt with 20%
-/// cross-shard traffic, and the Tusk sequential baseline).
+/// cluster scenarios — SmallBank under Thunderbolt (single-shard and 20%
+/// cross-shard) and Tusk, the interpreter-contract workload, and the
+/// Zipfian hot-key KV workload.
 pub fn generate(scale: Scale) -> BenchReport {
     let engines = Engine::BENCHED
         .iter()
         .map(|&engine| run_engine_bench(engine, scale))
         .collect();
+    let smallbank = |replicas: u32, cross_shard: f64| SmallBankConfig {
+        accounts: scale.system_accounts,
+        n_shards: replicas,
+        cross_shard_fraction: cross_shard,
+        ..SmallBankConfig::default()
+    };
+    let contract = ContractWorkloadConfig {
+        slots: scale.system_accounts,
+        ..ContractWorkloadConfig::default()
+    };
+    let kv_hot = KvWorkloadConfig {
+        keys: scale.system_accounts,
+        cross_shard_fraction: 0.2,
+        ..KvWorkloadConfig::default()
+    };
     let clusters = vec![
         run_cluster_bench(
             "thunderbolt-lan-n4",
             ExecutionMode::Thunderbolt,
             4,
-            0.0,
+            smallbank(4, 0.0).into(),
             scale,
         ),
         run_cluster_bench(
             "thunderbolt-cross20-n4",
             ExecutionMode::Thunderbolt,
             4,
-            0.2,
+            smallbank(4, 0.2).into(),
             scale,
         ),
-        run_cluster_bench("tusk-lan-n4", ExecutionMode::Tusk, 4, 0.0, scale),
+        run_cluster_bench(
+            "tusk-lan-n4",
+            ExecutionMode::Tusk,
+            4,
+            smallbank(4, 0.0).into(),
+            scale,
+        ),
+        run_cluster_bench(
+            "contract-n4",
+            ExecutionMode::Thunderbolt,
+            4,
+            contract.into(),
+            scale,
+        ),
+        run_cluster_bench(
+            "kv-hot-cross20-n4",
+            ExecutionMode::Thunderbolt,
+            4,
+            kv_hot.into(),
+            scale,
+        ),
     ];
     BenchReport {
         schema_version: BENCH_REPORT_SCHEMA_VERSION,
@@ -382,7 +442,15 @@ mod tests {
         let report = generate(tiny_scale());
         report.validate().expect("tiny report must validate");
         assert_eq!(report.engines.len(), 4);
-        assert_eq!(report.clusters.len(), 3);
+        assert_eq!(report.clusters.len(), 5);
+        let workloads: Vec<&str> = report
+            .clusters
+            .iter()
+            .map(|c| c.workload.as_str())
+            .collect();
+        assert!(workloads.contains(&"smallbank"));
+        assert!(workloads.contains(&"contract"));
+        assert!(workloads.contains(&"kv-hot"));
         assert_eq!(report.schema_version, BENCH_REPORT_SCHEMA_VERSION);
         // The report is serializable and the JSON is non-trivial.
         let json = crate::to_json(&report);

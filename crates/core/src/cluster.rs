@@ -1,14 +1,22 @@
 //! The multi-replica simulation harness.
 //!
 //! [`ClusterSimulation`] wires `n` [`Replica`]s to the discrete-event
-//! network, feeds them a SmallBank workload, injects faults from a
-//! [`FaultPlan`] and runs until a round budget is reached. It is the engine
-//! behind every system experiment (Figures 13–17), the integration tests and
-//! the examples. Three system variants can be simulated:
+//! network, feeds them transactions from any [`Workload`] implementation,
+//! injects faults from a [`FaultPlan`] and runs until a round budget is
+//! reached. It is the engine behind every system experiment (Figures
+//! 13–17), the integration tests and the examples. Three system variants
+//! can be simulated:
 //!
 //! * **Thunderbolt** — concurrent-executor preplay + parallel validation,
 //! * **Thunderbolt-OCC** — OCC preplay + parallel validation,
 //! * **Tusk** — no preplay, serial execution after consensus.
+//!
+//! The harness is workload-agnostic: it accepts anything convertible into a
+//! `Box<dyn Workload>` (a workload config, a ready generator, or a custom
+//! implementation) and only relies on the trait — the stable scenario name,
+//! the initial state, and the shard-tagged transaction stream. Most callers
+//! should not construct it directly but go through the fluent
+//! [`ScenarioBuilder`](crate::scenario::ScenarioBuilder).
 
 use crate::messages::Message;
 use crate::metrics::RunReport;
@@ -16,7 +24,7 @@ use crate::replica::{Destination, Replica};
 use std::time::Duration;
 use tb_network::{FaultPlan, NetEvent, SimNetwork};
 use tb_types::{ReplicaId, SimTime, SystemConfig};
-use tb_workload::{SmallBankConfig, SmallBankWorkload};
+use tb_workload::Workload;
 
 /// Which execution engine the replicas use (the three systems compared in
 /// the paper's system evaluation, Section 12).
@@ -85,6 +93,21 @@ impl ClusterConfig {
         }
     }
 
+    /// Overrides the seed for network jitter and workload generation.
+    /// Experiments sweeping seeds should use this (or
+    /// [`ScenarioBuilder::seed`](crate::scenario::ScenarioBuilder::seed))
+    /// instead of struct-literal surgery.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the label recorded in reports.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
     /// The label used in reports.
     pub fn label(&self) -> String {
         self.label
@@ -98,7 +121,7 @@ pub struct ClusterSimulation {
     config: ClusterConfig,
     replicas: Vec<Replica>,
     network: SimNetwork<Message>,
-    workload: SmallBankWorkload,
+    workload: Box<dyn Workload>,
     faults: FaultPlan,
     busy_until: Vec<SimTime>,
     events_processed: u64,
@@ -108,21 +131,27 @@ pub struct ClusterSimulation {
 const EVENT_BUDGET: u64 = 50_000_000;
 
 impl ClusterSimulation {
-    /// Builds a cluster: `n` replicas with freshly loaded SmallBank state, a
+    /// Builds a cluster: `n` replicas with freshly loaded workload state, a
     /// simulated network with the configured latency model and a fault plan.
+    ///
+    /// Accepts anything convertible into a boxed [`Workload`]: a workload
+    /// config (`SmallBankConfig`, `ContractWorkloadConfig`,
+    /// `KvWorkloadConfig`), a ready generator, or `Box<dyn Workload>`. The
+    /// workload is retargeted to the committee's shard count and the
+    /// cluster seed is folded into its stream before the run.
     pub fn new(
         config: ClusterConfig,
-        mut workload_config: SmallBankConfig,
+        workload: impl Into<Box<dyn Workload>>,
         faults: FaultPlan,
     ) -> Self {
         let n = config.system.n_replicas;
-        workload_config.n_shards = n;
-        workload_config.seed = workload_config.seed.wrapping_add(config.seed);
-        let workload = SmallBankWorkload::new(workload_config);
+        let mut workload = workload.into();
+        workload.configure_for_cluster(n, config.seed);
+        let initial_state = workload.initial_state();
         let mut replicas = Vec::with_capacity(n as usize);
         for i in 0..n {
             let mut replica = Replica::new(ReplicaId::new(i), config.clone());
-            replica.load_state(workload.initial_state());
+            replica.load_state(initial_state.iter().cloned());
             replicas.push(replica);
         }
         let network = SimNetwork::new(n, config.system.latency, config.seed);
@@ -138,8 +167,13 @@ impl ClusterSimulation {
     }
 
     /// Convenience constructor with no faults.
-    pub fn with_defaults(config: ClusterConfig, workload: SmallBankConfig) -> Self {
+    pub fn with_defaults(config: ClusterConfig, workload: impl Into<Box<dyn Workload>>) -> Self {
         Self::new(config, workload, FaultPlan::none())
+    }
+
+    /// The name of the workload driving this simulation.
+    pub fn workload_name(&self) -> &str {
+        self.workload.name()
     }
 
     /// Access to a replica (used by tests to inspect state).
@@ -211,7 +245,9 @@ impl ClusterSimulation {
             .last()
             .map(|sample| sample.committed_at)
             .unwrap_or_else(|| self.network.now());
-        observer.report(&self.config.label(), duration)
+        let mut report = observer.report(&self.config.label(), duration);
+        report.workload = self.workload.name().to_string();
+        report
     }
 
     fn observer(&self) -> &Replica {
@@ -285,6 +321,7 @@ fn duration_to_sim(duration: Duration) -> SimTime {
 mod tests {
     use super::*;
     use tb_types::{CeConfig, LatencyModel};
+    use tb_workload::{ContractWorkloadConfig, KvWorkloadConfig, SmallBankConfig};
 
     fn small_config(mode: ExecutionMode, n: u32, rounds: u64) -> ClusterConfig {
         let mut config = ClusterConfig::thunderbolt(n);
@@ -316,7 +353,40 @@ mod tests {
         assert!(report.throughput_tps() > 0.0);
         assert_eq!(report.replicas, 4);
         assert_eq!(report.label, "Thunderbolt");
+        assert_eq!(report.workload, "smallbank");
         assert!(report.duration > SimTime::ZERO);
+    }
+
+    #[test]
+    fn contract_workload_drives_a_cluster_through_the_trait() {
+        let workload = ContractWorkloadConfig {
+            slots: 64,
+            ..ContractWorkloadConfig::default()
+        };
+        let mut sim = ClusterSimulation::with_defaults(
+            small_config(ExecutionMode::Thunderbolt, 4, 10),
+            workload,
+        );
+        let report = sim.run();
+        assert!(report.committed_txs > 0, "nothing committed: {report:?}");
+        assert_eq!(report.workload, "contract");
+        assert_eq!(sim.workload_name(), "contract");
+    }
+
+    #[test]
+    fn hot_key_kv_workload_drives_a_cluster_through_the_trait() {
+        let workload = KvWorkloadConfig {
+            keys: 64,
+            cross_shard_fraction: 0.2,
+            ..KvWorkloadConfig::default()
+        };
+        let mut sim = ClusterSimulation::with_defaults(
+            small_config(ExecutionMode::Thunderbolt, 4, 10),
+            workload,
+        );
+        let report = sim.run();
+        assert!(report.committed_txs > 0, "nothing committed: {report:?}");
+        assert_eq!(report.workload, "kv-hot");
     }
 
     #[test]

@@ -21,7 +21,13 @@
 //! * [`cluster`] — the multi-replica simulation harness used by the
 //!   examples, the integration tests and every system benchmark
 //!   (Figures 13–17),
+//! * [`scenario`] — the fluent [`ScenarioBuilder`] assembling engine,
+//!   workload, rounds, faults, seed and label into a runnable simulation,
 //! * [`metrics`] — run reports (throughput, latency, per-round commit times).
+//!
+//! The library is named `tb_core`; downstream users normally reach it
+//! through the workspace façade crate `thunderbolt` and its prelude
+//! (`use thunderbolt::prelude::*`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,10 +38,12 @@ pub mod messages;
 pub mod metrics;
 pub mod proposer;
 pub mod replica;
+pub mod scenario;
 
 pub use cluster::{ClusterConfig, ClusterSimulation, ExecutionMode};
 pub use commit::{CommitOutput, CommitPipeline, PostCommitExecution};
 pub use messages::Message;
 pub use metrics::{LatencyHistogram, RoundCommitSample, RunReport};
 pub use proposer::{ProposalDecision, ShardProposer};
-pub use replica::Replica;
+pub use replica::{Destination, Outbound, Replica};
+pub use scenario::ScenarioBuilder;

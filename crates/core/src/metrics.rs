@@ -93,6 +93,13 @@ pub struct RunReport {
     /// Human-readable label of the system variant (Thunderbolt,
     /// Thunderbolt-OCC, Tusk).
     pub label: String,
+    /// Stable name of the workload that drove the run (`smallbank`,
+    /// `contract`, `kv-hot`, or a custom [`Workload::name`]); two runs of
+    /// the same engine under different workloads are distinguishable by
+    /// this field alone. Empty for reports built outside a cluster run.
+    ///
+    /// [`Workload::name`]: tb_workload::Workload::name
+    pub workload: String,
     /// Number of replicas in the committee.
     pub replicas: u32,
     /// Total transactions committed (single-shard + cross-shard).
@@ -202,9 +209,14 @@ impl RunReport {
 
     /// One-line summary used by the examples and the benchmark binaries.
     pub fn summary(&self) -> String {
+        let scenario = if self.workload.is_empty() {
+            self.label.clone()
+        } else {
+            format!("{} [{}]", self.label, self.workload)
+        };
         format!(
             "{}: {} replicas, {} txs committed in {} ({:.0} tps, avg latency {:.3}s, {} reconfigs)",
-            self.label,
+            scenario,
             self.replicas,
             self.committed_txs,
             self.duration,

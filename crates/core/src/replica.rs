@@ -279,6 +279,9 @@ impl Replica {
     pub fn report(&self, label: &str, duration: SimTime) -> RunReport {
         RunReport {
             label: label.to_string(),
+            // The replica does not know what generated its traffic; the
+            // cluster harness stamps the workload name onto the report.
+            workload: String::new(),
             replicas: self.committee.size(),
             committed_txs: self.metrics.committed_txs,
             single_shard_txs: self.metrics.single_shard_txs,

@@ -1,0 +1,231 @@
+//! The fluent, scenario-first entry point to the cluster simulation.
+//!
+//! [`ScenarioBuilder`] assembles everything a system experiment needs —
+//! execution engine, workload, round budget, fault plan, seed, label — and
+//! produces a ready [`ClusterSimulation`] (or directly its [`RunReport`]).
+//! It is the public face of the harness; `ClusterConfig` surgery is only
+//! needed for knobs the builder does not expose, and even those are
+//! reachable through [`ScenarioBuilder::tune`].
+//!
+//! ```
+//! use tb_workload::KvWorkloadConfig;
+//! use tb_core::scenario::ScenarioBuilder;
+//! use tb_core::ExecutionMode;
+//!
+//! let report = ScenarioBuilder::new(4)
+//!     .engine(ExecutionMode::Thunderbolt)
+//!     .workload(KvWorkloadConfig {
+//!         keys: 64,
+//!         cross_shard_fraction: 0.2,
+//!         ..KvWorkloadConfig::default()
+//!     })
+//!     .executors(2, 32)
+//!     .rounds(8)
+//!     .seed(7)
+//!     .label("kv-demo")
+//!     .run();
+//! assert!(report.committed_txs > 0);
+//! assert_eq!(report.workload, "kv-hot");
+//! ```
+
+use crate::cluster::{ClusterConfig, ClusterSimulation, ExecutionMode};
+use crate::metrics::RunReport;
+use tb_network::FaultPlan;
+use tb_types::{CeConfig, LatencyModel, ReconfigConfig, SystemConfig};
+use tb_workload::{SmallBankConfig, Workload};
+
+/// Fluent builder for cluster scenarios.
+///
+/// Defaults: Thunderbolt engine, the default SmallBank workload, no
+/// faults, and the `SystemConfig` defaults for the given committee size
+/// (the same starting point as [`ClusterConfig::thunderbolt`]).
+pub struct ScenarioBuilder {
+    config: ClusterConfig,
+    workload: Box<dyn Workload>,
+    faults: FaultPlan,
+}
+
+impl ScenarioBuilder {
+    /// Starts a scenario on a committee of `replicas` replicas.
+    pub fn new(replicas: u32) -> Self {
+        ScenarioBuilder {
+            config: ClusterConfig::thunderbolt(replicas),
+            workload: SmallBankConfig::default().into(),
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Selects the execution engine (Thunderbolt, Thunderbolt-OCC, Tusk).
+    pub fn engine(mut self, mode: ExecutionMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Selects the workload: a config (`SmallBankConfig`,
+    /// `ContractWorkloadConfig`, `KvWorkloadConfig`), a ready generator, or
+    /// any boxed custom [`Workload`]. The builder retargets it to the
+    /// committee's shard count and folds the scenario seed into its stream
+    /// when the simulation is built.
+    pub fn workload(mut self, workload: impl Into<Box<dyn Workload>>) -> Self {
+        self.workload = workload.into();
+        self
+    }
+
+    /// Sets the leader-round budget of the run (`SystemConfig::max_rounds`).
+    pub fn rounds(mut self, rounds: u64) -> Self {
+        self.config.system.max_rounds = rounds;
+        self
+    }
+
+    /// Sets the seed for network jitter and workload generation, so
+    /// experiments can sweep seeds without touching any config struct.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Overrides the engine label recorded in reports (e.g. to distinguish
+    /// two parameterisations of the same engine).
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.config.label = Some(label.into());
+        self
+    }
+
+    /// Injects a fault plan (crashes, censoring, partitions).
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Selects the network latency model.
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.config.system.latency = latency;
+        self
+    }
+
+    /// Sizes the preplay stage: `workers` executor threads and `batch`
+    /// transactions per block. The validation pool is a separate knob
+    /// ([`ScenarioBuilder::validators`]) and keeps its `SystemConfig`
+    /// default when untouched.
+    pub fn executors(mut self, workers: usize, batch: usize) -> Self {
+        self.config.system.ce = CeConfig::new(workers, batch);
+        self
+    }
+
+    /// Sizes the post-consensus validation worker pool.
+    pub fn validators(mut self, workers: usize) -> Self {
+        self.config.system.validators = workers;
+        self
+    }
+
+    /// Enables reconfiguration with the given `K` / `K'` parameters.
+    pub fn reconfig(mut self, reconfig: ReconfigConfig) -> Self {
+        self.config.system.reconfig = reconfig;
+        self
+    }
+
+    /// Prefers skip blocks over converting single-shard transactions when
+    /// preplay recovery triggers (rules P3/P4, Section 5.4).
+    pub fn skip_blocks(mut self, enabled: bool) -> Self {
+        self.config.use_skip_blocks = enabled;
+        self
+    }
+
+    /// Escape hatch for every remaining [`SystemConfig`] knob (synthetic op
+    /// cost, pipelined commit, …) without leaving the fluent chain.
+    pub fn tune(mut self, f: impl FnOnce(&mut SystemConfig)) -> Self {
+        f(&mut self.config.system);
+        self
+    }
+
+    /// The assembled cluster configuration (for inspection in tests).
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Builds the simulation without running it.
+    pub fn build(self) -> ClusterSimulation {
+        ClusterSimulation::new(self.config, self.workload, self.faults)
+    }
+
+    /// Builds the simulation, runs it to completion and returns the report.
+    pub fn run(self) -> RunReport {
+        self.build().run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_types::{ReplicaId, SimTime};
+    use tb_workload::ContractWorkloadConfig;
+
+    fn tiny(builder: ScenarioBuilder) -> ScenarioBuilder {
+        builder
+            .executors(2, 32)
+            .validators(2)
+            .rounds(8)
+            .latency(LatencyModel::Fixed { micros: 100 })
+            .tune(|system| system.ce = system.ce.without_synthetic_cost())
+    }
+
+    #[test]
+    fn builder_defaults_produce_a_smallbank_thunderbolt_run() {
+        let report = tiny(ScenarioBuilder::new(4)).run();
+        assert!(report.committed_txs > 0);
+        assert_eq!(report.label, "Thunderbolt");
+        assert_eq!(report.workload, "smallbank");
+        assert_eq!(report.replicas, 4);
+    }
+
+    #[test]
+    fn every_knob_lands_in_the_cluster_config() {
+        let builder = ScenarioBuilder::new(7)
+            .engine(ExecutionMode::Tusk)
+            .rounds(17)
+            .seed(99)
+            .label("custom")
+            .latency(LatencyModel::Fixed { micros: 5 })
+            .executors(3, 48)
+            .validators(5)
+            .reconfig(ReconfigConfig::new(4, 10))
+            .skip_blocks(true)
+            .tune(|system| system.pipelined_commit = false);
+        let config = builder.config();
+        assert_eq!(config.system.n_replicas, 7);
+        assert_eq!(config.mode, ExecutionMode::Tusk);
+        assert_eq!(config.system.max_rounds, 17);
+        assert_eq!(config.seed, 99);
+        assert_eq!(config.label.as_deref(), Some("custom"));
+        assert_eq!(config.system.latency, LatencyModel::Fixed { micros: 5 });
+        assert_eq!(config.system.ce.executors, 3);
+        assert_eq!(config.system.ce.batch_size, 48);
+        assert_eq!(config.system.validators, 5);
+        assert_eq!(config.system.reconfig, ReconfigConfig::new(4, 10));
+        assert!(config.use_skip_blocks);
+        assert!(!config.system.pipelined_commit);
+        assert_eq!(config.label(), "custom");
+    }
+
+    #[test]
+    fn builder_runs_non_smallbank_workloads_with_faults() {
+        let report = tiny(ScenarioBuilder::new(4))
+            .workload(ContractWorkloadConfig {
+                slots: 64,
+                ..ContractWorkloadConfig::default()
+            })
+            .faults(FaultPlan::crash_replicas(4, 1, SimTime::ZERO))
+            .run();
+        assert!(report.committed_txs > 0, "f=1 crash must not halt commits");
+        assert_eq!(report.workload, "contract");
+    }
+
+    #[test]
+    fn build_exposes_the_simulation_for_inspection() {
+        let mut sim = tiny(ScenarioBuilder::new(4)).seed(3).build();
+        let report = sim.run();
+        assert!(report.committed_txs > 0);
+        assert!(sim.replica(ReplicaId::new(0)).metrics().committed_txs > 0);
+        assert_eq!(sim.workload_name(), "smallbank");
+    }
+}

@@ -5,6 +5,8 @@
 
 use std::collections::VecDeque;
 use std::time::Instant;
+use tb_core::commit::{CommitPipeline, PostCommitExecution};
+use tb_core::{ClusterConfig, ExecutionMode, Message, Replica};
 use tb_dag::{CommittedSubDag, DagBuilder};
 use tb_executor::{strict_figures_enabled, ConcurrentExecutor};
 use tb_storage::MemStore;
@@ -13,8 +15,6 @@ use tb_types::{
     SystemConfig, Transaction,
 };
 use tb_workload::{SmallBankConfig, SmallBankWorkload};
-use thunderbolt::commit::{CommitPipeline, PostCommitExecution};
-use thunderbolt::{ClusterConfig, ExecutionMode, Message, Replica};
 
 fn seeded_workload(accounts: u64, seed: u64) -> SmallBankWorkload {
     SmallBankWorkload::new(SmallBankConfig {
@@ -154,14 +154,14 @@ fn run_synchronously(replicas: &mut [Replica], rounds_budget: usize) {
     let n = replicas.len();
     let enqueue = |inbox: &mut VecDeque<(ReplicaId, ReplicaId, Message)>,
                    from: ReplicaId,
-                   outbound: thunderbolt::replica::Outbound| {
+                   outbound: tb_core::replica::Outbound| {
         match outbound.dest {
-            thunderbolt::replica::Destination::Broadcast => {
+            tb_core::replica::Destination::Broadcast => {
                 for to in 0..n {
                     inbox.push_back((from, ReplicaId::new(to as u32), outbound.msg.clone()));
                 }
             }
-            thunderbolt::replica::Destination::To(to) => inbox.push_back((from, to, outbound.msg)),
+            tb_core::replica::Destination::To(to) => inbox.push_back((from, to, outbound.msg)),
         }
     };
     for replica in replicas.iter_mut() {

@@ -6,12 +6,17 @@
 //! system evaluation additionally designates a percentage `P` of transactions
 //! as cross-shard (Sections 11.2 and 12). This crate provides:
 //!
+//! * [`Workload`] — the scenario-facing trait every generator implements:
+//!   a stable report name, the initial state, and a deterministic
+//!   transaction stream with shard tagging,
 //! * [`ZipfianGenerator`] — the YCSB-style Zipfian sampler (optionally
 //!   scrambled so the hottest keys spread over all shards),
 //! * [`SmallBankWorkload`] — a deterministic, seedable generator of SmallBank
 //!   transactions following the paper's parameters,
 //! * [`ContractWorkload`] — a mixed interpreter-program workload used by the
 //!   examples and extension benchmarks,
+//! * [`KvWorkload`] — a Zipfian hot-key read/write workload over raw
+//!   operation lists,
 //! * [`initial_smallbank_state`] — the initial balances loaded into every
 //!   replica's store.
 
@@ -19,9 +24,13 @@
 #![warn(missing_docs)]
 
 pub mod contract;
+pub mod kv;
 pub mod smallbank;
+pub mod traits;
 pub mod zipf;
 
 pub use contract::{ContractWorkload, ContractWorkloadConfig};
+pub use kv::{KvWorkload, KvWorkloadConfig};
 pub use smallbank::{initial_smallbank_state, SmallBankConfig, SmallBankWorkload};
+pub use traits::Workload;
 pub use zipf::ZipfianGenerator;

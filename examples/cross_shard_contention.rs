@@ -9,10 +9,7 @@
 //!
 //! Run with: `cargo run --release --example cross_shard_contention`
 
-use tb_contracts::{execute_call, MapState, ProgramBuilder, TrackingState};
-use tb_types::{ContractCall, Key, Value};
-use tb_workload::SmallBankConfig;
-use thunderbolt::{ClusterConfig, ClusterSimulation};
+use thunderbolt::prelude::*;
 
 fn main() {
     // Part 1: a contract whose write set depends on runtime state.
@@ -49,12 +46,11 @@ fn main() {
     // version of Figure 14).
     println!("\n-- cross-shard ratio sweep (8 replicas) --");
     for cross_percent in [0.0, 0.2, 0.6] {
-        let mut config = ClusterConfig::thunderbolt(8);
-        config.system.ce = tb_types::CeConfig::new(4, 200);
-        config.system.max_rounds = 10;
-        let workload = SmallBankConfig::system_eval(8, cross_percent);
-        let mut sim = ClusterSimulation::with_defaults(config, workload);
-        let report = sim.run();
+        let report = ScenarioBuilder::new(8)
+            .workload(SmallBankConfig::system_eval(8, cross_percent))
+            .executors(4, 200)
+            .rounds(10)
+            .run();
         println!(
             "cross-shard {:>3.0}% -> {:>9.0} tps, avg latency {:.3}s ({} cross-shard committed)",
             cross_percent * 100.0,
@@ -63,4 +59,14 @@ fn main() {
             report.cross_shard_txs
         );
     }
+
+    // Part 3: the same cluster under the interpreter-contract workload —
+    // pointer-chasing programs from part 1 as live cluster traffic.
+    println!("\n-- interpreter contracts as cluster traffic (4 replicas) --");
+    let report = ScenarioBuilder::new(4)
+        .workload(ContractWorkloadConfig::default())
+        .executors(4, 200)
+        .rounds(10)
+        .run();
+    println!("{}", report.summary());
 }

@@ -1,12 +1,12 @@
 //! Quickstart: preplay a SmallBank batch with the concurrent executor,
 //! validate it like a remote replica would, and apply it to storage.
 //!
+//! This is the executor-level tour; see `smallbank_cluster` for the
+//! scenario-level `ScenarioBuilder` entry point.
+//!
 //! Run with: `cargo run --release --example quickstart`
 
-use tb_executor::{validate_block, ConcurrentExecutor, ValidationConfig};
-use tb_storage::{KvRead, MemStore};
-use tb_types::{CeConfig, Key};
-use tb_workload::{SmallBankConfig, SmallBankWorkload};
+use thunderbolt::prelude::*;
 
 fn main() {
     // 1. A store holding the SmallBank accounts.
@@ -29,7 +29,7 @@ fn main() {
     // 2. Preplay one batch with the concurrent executor (the EOV path a
     //    Thunderbolt shard proposer runs before consensus).
     let ce = ConcurrentExecutor::new(CeConfig::new(8, 500));
-    let batch = workload.batch(500, tb_types::SimTime::ZERO);
+    let batch = workload.batch(500, SimTime::ZERO);
     let result = ce.preplay(&batch, &store);
     println!(
         "preplayed {} transactions in {:?} ({:.0} tps, {} re-executions, {} logical rejections)",

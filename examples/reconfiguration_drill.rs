@@ -7,25 +7,20 @@
 //!
 //! Run with: `cargo run --release --example reconfiguration_drill`
 
-use tb_network::FaultPlan;
-use tb_types::{CeConfig, ReconfigConfig, ReplicaId};
-use tb_workload::SmallBankConfig;
-use thunderbolt::{ClusterConfig, ClusterSimulation};
+use thunderbolt::prelude::*;
 
 fn main() {
     let replicas = 4;
-    let mut config = ClusterConfig::thunderbolt(replicas);
-    config.system.ce = CeConfig::new(4, 100);
-    config.system.max_rounds = 30;
-    // React to 3 silent rounds; also rotate every 12 rounds regardless.
-    config.system.reconfig = ReconfigConfig::new(3, 12);
-
-    // Replica 1 censors from the start: it receives traffic but never
-    // disseminates its own blocks.
-    let faults = FaultPlan::silence_from_start(ReplicaId::new(1));
-    let workload = SmallBankConfig::system_eval(replicas, 0.05);
-
-    let mut sim = ClusterSimulation::new(config, workload, faults);
+    let mut sim = ScenarioBuilder::new(replicas)
+        .workload(SmallBankConfig::system_eval(replicas, 0.05))
+        .executors(4, 100)
+        .rounds(30)
+        // React to 3 silent rounds; also rotate every 12 rounds regardless.
+        .reconfig(ReconfigConfig::new(3, 12))
+        // Replica 1 censors from the start: it receives traffic but never
+        // disseminates its own blocks.
+        .faults(FaultPlan::silence_from_start(ReplicaId::new(1)))
+        .build();
     let report = sim.run();
 
     println!("{}", report.summary());

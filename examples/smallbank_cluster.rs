@@ -3,21 +3,17 @@
 //!
 //! Run with: `cargo run --release --example smallbank_cluster`
 
-use tb_types::{CeConfig, LatencyModel};
-use tb_workload::SmallBankConfig;
-use thunderbolt::{ClusterConfig, ClusterSimulation, ExecutionMode};
+use thunderbolt::prelude::*;
 
 fn run(mode: ExecutionMode, replicas: u32, rounds: u64) {
-    let mut config = ClusterConfig::thunderbolt(replicas);
-    config.mode = mode;
-    config.system.ce = CeConfig::new(4, 200);
-    config.system.validators = 4;
-    config.system.max_rounds = rounds;
-    config.system.latency = LatencyModel::lan();
-
-    let workload = SmallBankConfig::system_eval(replicas, 0.0);
-    let mut sim = ClusterSimulation::with_defaults(config, workload);
-    let report = sim.run();
+    let report = ScenarioBuilder::new(replicas)
+        .engine(mode)
+        .workload(SmallBankConfig::system_eval(replicas, 0.0))
+        .executors(4, 200)
+        .validators(4)
+        .rounds(rounds)
+        .latency(LatencyModel::lan())
+        .run();
     println!("{}", report.summary());
 }
 

@@ -1,10 +1,7 @@
 //! End-to-end integration tests of the full system: multiple replicas, the
-//! simulated network, SmallBank traffic, faults and reconfiguration.
+//! simulated network, multiple workloads, faults and reconfiguration.
 
-use tb_network::FaultPlan;
-use tb_types::{CeConfig, LatencyModel, ReconfigConfig, ReplicaId, SimTime};
-use tb_workload::SmallBankConfig;
-use thunderbolt::{ClusterConfig, ClusterSimulation, ExecutionMode};
+use thunderbolt::prelude::*;
 
 fn base_config(mode: ExecutionMode, n: u32, rounds: u64) -> ClusterConfig {
     let mut config = ClusterConfig::thunderbolt(n);
@@ -14,6 +11,17 @@ fn base_config(mode: ExecutionMode, n: u32, rounds: u64) -> ClusterConfig {
     config.system.max_rounds = rounds;
     config.system.latency = LatencyModel::Fixed { micros: 200 };
     config
+}
+
+/// The same setup as [`base_config`], expressed scenario-first.
+fn base_scenario(mode: ExecutionMode, n: u32, rounds: u64) -> ScenarioBuilder {
+    ScenarioBuilder::new(n)
+        .engine(mode)
+        .executors(2, 32)
+        .validators(2)
+        .rounds(rounds)
+        .latency(LatencyModel::Fixed { micros: 200 })
+        .tune(|system| system.ce = system.ce.without_synthetic_cost())
 }
 
 fn workload(n: u32, cross: f64) -> SmallBankConfig {
@@ -145,4 +153,97 @@ fn skip_block_mode_commits_with_cross_shard_traffic() {
     let report = sim.run();
     assert!(report.committed_txs > 0);
     assert!(report.cross_shard_txs > 0);
+}
+
+/// A named factory of boxed workloads for matrix tests.
+type WorkloadFactory = (&'static str, fn() -> Box<dyn Workload>);
+
+#[test]
+fn every_bundled_workload_commits_under_every_engine() {
+    // The scenario-first matrix the redesign unlocks: engines x workloads
+    // without the harness knowing any benchmark by name.
+    let workloads: Vec<WorkloadFactory> = vec![
+        ("smallbank", || {
+            SmallBankConfig {
+                accounts: 128,
+                cross_shard_fraction: 0.1,
+                ..SmallBankConfig::default()
+            }
+            .into()
+        }),
+        ("contract", || {
+            ContractWorkloadConfig {
+                slots: 128,
+                ..ContractWorkloadConfig::default()
+            }
+            .into()
+        }),
+        ("kv-hot", || {
+            KvWorkloadConfig {
+                keys: 128,
+                cross_shard_fraction: 0.1,
+                ..KvWorkloadConfig::default()
+            }
+            .into()
+        }),
+    ];
+    for mode in [
+        ExecutionMode::Thunderbolt,
+        ExecutionMode::ThunderboltOcc,
+        ExecutionMode::Tusk,
+    ] {
+        for (name, make) in &workloads {
+            let report = base_scenario(mode, 4, 8).workload(make()).run();
+            assert!(
+                report.committed_txs > 0,
+                "{} committed nothing under {name}",
+                mode.label()
+            );
+            assert_eq!(report.workload, *name);
+            assert_eq!(report.label, mode.label());
+        }
+    }
+}
+
+#[test]
+fn scenario_seed_sweeps_produce_distinct_but_valid_runs() {
+    // with_seed parity: sweeping the seed must not require struct surgery
+    // and different seeds must actually reach the workload stream.
+    let run = |seed: u64| {
+        base_scenario(ExecutionMode::Thunderbolt, 4, 8)
+            .workload(SmallBankConfig {
+                accounts: 128,
+                ..SmallBankConfig::default()
+            })
+            .seed(seed)
+            .run()
+    };
+    let a = run(1);
+    let b = run(2);
+    assert!(a.committed_txs > 0 && b.committed_txs > 0);
+    // Identical seeds share the workload stream; different seeds do not
+    // (the digests could theoretically collide, so compare the streams).
+    let mut wa: Box<dyn Workload> = SmallBankConfig::default().into();
+    let mut wb: Box<dyn Workload> = SmallBankConfig::default().into();
+    wa.configure_for_cluster(4, 1);
+    wb.configure_for_cluster(4, 2);
+    assert_ne!(wa.batch(100, SimTime::ZERO), wb.batch(100, SimTime::ZERO));
+}
+
+#[test]
+fn legacy_constructor_shims_still_compile_and_run() {
+    // The pre-redesign call shape: ClusterConfig constructors plus a bare
+    // SmallBankConfig handed to ClusterSimulation::new.
+    let config = ClusterConfig::thunderbolt(4)
+        .with_seed(5)
+        .with_label("shim");
+    let mut config = config;
+    config.system.ce = CeConfig::new(2, 32).without_synthetic_cost();
+    config.system.max_rounds = 8;
+    config.system.latency = LatencyModel::Fixed { micros: 200 };
+    let mut sim = ClusterSimulation::new(config, workload(4, 0.0), FaultPlan::none());
+    let report = sim.run();
+    assert!(report.committed_txs > 0);
+    assert_eq!(report.label, "shim");
+    assert_eq!(report.workload, "smallbank");
 }

@@ -3,14 +3,7 @@
 //! conserving final state on the SmallBank workload, and every honest
 //! preplay must pass validation.
 
-use tb_contracts::SMALLBANK_DEFAULT_BALANCE;
-use tb_executor::{
-    strict_figures_enabled, validate_block, BatchExecutor, ConcurrentExecutor, OccExecutor,
-    SerialExecutor, TwoPlNoWaitExecutor, ValidationConfig,
-};
-use tb_storage::MemStore;
-use tb_types::{CeConfig, SimTime};
-use tb_workload::{initial_smallbank_state, SmallBankConfig, SmallBankWorkload};
+use thunderbolt::prelude::*;
 
 fn funded_store(accounts: u64) -> MemStore {
     let store = MemStore::new();

@@ -7,12 +7,7 @@
 //! * the structural digest is injective in practice on transaction batches.
 
 use proptest::prelude::*;
-use tb_contracts::{execute_call, MapState, TrackingState, SMALLBANK_DEFAULT_BALANCE};
-use tb_executor::{BatchExecutor, ConcurrentExecutor, OccExecutor, SerialExecutor};
-use tb_storage::{KvRead, KvWrite, MemStore};
-use tb_types::{
-    CeConfig, ClientId, ContractCall, Key, SimTime, SmallBankProcedure, Transaction, TxId, Value,
-};
+use thunderbolt::prelude::*;
 
 /// Strategy producing SmallBank procedures over a small, hot account pool.
 fn procedure(accounts: u64) -> impl Strategy<Value = SmallBankProcedure> {
