@@ -1,0 +1,68 @@
+//! Runs the chaos campaign and writes its machine-readable report.
+//!
+//! ```text
+//! cargo run --release -p tb-bench --bin campaign_report [output-path]
+//! ```
+//!
+//! Drives every adversarial scenario of the default campaign — Byzantine
+//! proposers, healing partitions, WAN tails, crashes under reconfiguration,
+//! a long soak — with machine-checked safety/liveness invariants after each
+//! run, and writes `CAMPAIGN_report.json` (or the given path). Scale is
+//! controlled by `TB_BENCH_SMOKE=1` (CI chaos-smoke) or left at the quick
+//! profile. The schema is documented in `docs/PERF.md` and the scenarios in
+//! `docs/CHAOS.md`.
+//!
+//! Exits non-zero if any scenario fails an invariant, so CI can gate on a
+//! broken safety or liveness property.
+
+use tb_bench::report::generate_campaigns;
+use tb_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "CAMPAIGN_report.json".to_string());
+    eprintln!(
+        "campaign_report: scale={} cores={} -> {out_path}",
+        scale.label(),
+        tb_executor::available_cores()
+    );
+
+    let report = generate_campaigns(scale);
+
+    let json = tb_bench::to_json(&report);
+    if let Err(err) = std::fs::write(&out_path, &json) {
+        eprintln!("campaign_report: cannot write {out_path}: {err}");
+        std::process::exit(1);
+    }
+
+    // Human-readable recap on stdout; the JSON on disk is the interface.
+    println!(
+        "{:<26} {:<6} {:>10} {:>9} {:>9} {:>9} {:>8} {:>12}",
+        "scenario", "pass", "committed", "invalid", "dropped", "reconfig", "faults", "tps"
+    );
+    for row in &report.campaigns {
+        println!(
+            "{:<26} {:<6} {:>10} {:>9} {:>9} {:>9} {:>5}/{:<2} {:>12.0}",
+            row.scenario,
+            if row.passed { "ok" } else { "FAIL" },
+            row.committed_txs,
+            row.invalid_blocks,
+            row.msgs_dropped,
+            row.reconfigurations,
+            row.faults_applied,
+            row.faults_unapplied,
+            row.throughput_tps,
+        );
+        for failure in &row.failures {
+            println!("    FAILED: {failure}");
+        }
+    }
+
+    if let Err(reason) = report.validate() {
+        eprintln!("campaign_report: INVALID report: {reason}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path} (schema v{})", report.schema_version);
+}

@@ -14,6 +14,7 @@
 use crate::{Engine, Scale, SystemRun};
 use serde::Serialize;
 use std::time::SystemTime;
+use tb_core::campaign::{default_campaign, run_campaign, CampaignProfile, ScenarioResult};
 use tb_core::ExecutionMode;
 use tb_storage::MemStore;
 use tb_types::{CeConfig, SimTime};
@@ -24,7 +25,9 @@ use tb_workload::{
 /// Version of the `BENCH_report.json` schema (see `docs/PERF.md`).
 /// v2: cluster rows carry a `workload` field and the scenario set grew the
 /// contract and hot-key KV workloads.
-pub const BENCH_REPORT_SCHEMA_VERSION: u32 = 2;
+/// v3: the report carries a `campaigns` table — the chaos campaign's
+/// per-scenario pass/fail + loss metrics rows.
+pub const BENCH_REPORT_SCHEMA_VERSION: u32 = 3;
 
 /// Fixed seed for every benchmark in the report, so two reports from the
 /// same tree are comparable run over run.
@@ -144,6 +147,9 @@ pub struct BenchReport {
     pub engines: Vec<EngineBench>,
     /// Cluster scenario measurements.
     pub clusters: Vec<ClusterBench>,
+    /// Chaos campaign results: one pass/fail + metrics row per adversarial
+    /// scenario (schema v3, see `docs/CHAOS.md`).
+    pub campaigns: Vec<ScenarioResult>,
 }
 
 impl BenchReport {
@@ -183,7 +189,7 @@ impl BenchReport {
                 return Err(format!("missing cluster scenario for workload {workload}"));
             }
         }
-        Ok(())
+        validate_campaigns(&self.campaigns)
     }
 
     /// Per-key throughput ratios `self / baseline` over the rows both
@@ -218,6 +224,81 @@ impl BenchReport {
             }
         }
         ratios
+    }
+}
+
+/// Shared structural validation of a `campaigns` table: at least six
+/// adversarial scenarios, all passed, all with committed transactions. A
+/// failing invariant therefore fails report validation — and with it the
+/// `chaos-smoke` CI job.
+pub fn validate_campaigns(campaigns: &[ScenarioResult]) -> Result<(), String> {
+    if campaigns.len() < 6 {
+        return Err(format!(
+            "only {} campaign scenarios recorded, need at least 6",
+            campaigns.len()
+        ));
+    }
+    for row in campaigns {
+        if !row.passed {
+            return Err(format!(
+                "campaign scenario {} failed: {}",
+                row.scenario,
+                row.failures.join("; ")
+            ));
+        }
+        if row.committed_txs == 0 {
+            return Err(format!(
+                "campaign scenario {} committed nothing",
+                row.scenario
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Maps the bench scale onto the campaign's own profile (`tb-core` cannot
+/// depend on `tb-bench`, so the campaign defines its own scale knobs).
+pub fn campaign_profile(scale: Scale) -> CampaignProfile {
+    if scale.label() == "smoke" {
+        CampaignProfile::smoke()
+    } else {
+        CampaignProfile::quick()
+    }
+}
+
+/// A standalone chaos-campaign report (the `campaign_report` binary's
+/// output): the `campaigns` table of [`BenchReport`] without the perf rows,
+/// so the `chaos-smoke` CI job does not pay for the engine benchmarks.
+#[derive(Clone, Debug, Serialize)]
+pub struct CampaignReport {
+    /// Schema version, shared with [`BenchReport`].
+    pub schema_version: u32,
+    /// Unix timestamp (milliseconds) at which the report was generated.
+    pub generated_unix_ms: u64,
+    /// Scale label (`smoke`, `quick`, `full`).
+    pub scale: String,
+    /// One row per adversarial scenario.
+    pub campaigns: Vec<ScenarioResult>,
+}
+
+impl CampaignReport {
+    /// Structural validation (see [`validate_campaigns`]).
+    pub fn validate(&self) -> Result<(), String> {
+        validate_campaigns(&self.campaigns)
+    }
+}
+
+/// Runs the default chaos campaign at the given scale and wraps the rows in
+/// a [`CampaignReport`].
+pub fn generate_campaigns(scale: Scale) -> CampaignReport {
+    CampaignReport {
+        schema_version: BENCH_REPORT_SCHEMA_VERSION,
+        generated_unix_ms: SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0),
+        scale: scale.label().to_string(),
+        campaigns: run_campaign(default_campaign(campaign_profile(scale))),
     }
 }
 
@@ -349,8 +430,15 @@ fn run_cluster_bench(
 /// Generates the full report at the given scale: all four engines plus the
 /// cluster scenarios — SmallBank under Thunderbolt (single-shard and 20%
 /// cross-shard) and Tusk, the interpreter-contract workload, and the
-/// Zipfian hot-key KV workload.
+/// Zipfian hot-key KV workload — and the chaos campaign at the matching
+/// [`CampaignProfile`].
 pub fn generate(scale: Scale) -> BenchReport {
+    generate_with(scale, campaign_profile(scale))
+}
+
+/// [`generate`] with an explicit campaign profile (tests use a smaller
+/// campaign than the scale's default).
+pub fn generate_with(scale: Scale, profile: CampaignProfile) -> BenchReport {
     let engines = Engine::BENCHED
         .iter()
         .map(|&engine| run_engine_bench(engine, scale))
@@ -418,6 +506,7 @@ pub fn generate(scale: Scale) -> BenchReport {
         cores: tb_executor::available_cores(),
         engines,
         clusters,
+        campaigns: run_campaign(default_campaign(profile)),
     }
 }
 
@@ -437,9 +526,11 @@ mod tests {
         }
     }
 
+    /// One shared `generate_with` run (the campaign is the expensive part in
+    /// debug builds) exercised by every structural check below.
     #[test]
-    fn generated_report_validates() {
-        let report = generate(tiny_scale());
+    fn generated_report_validates_end_to_end() {
+        let report = generate_with(tiny_scale(), CampaignProfile::smoke());
         report.validate().expect("tiny report must validate");
         assert_eq!(report.engines.len(), 4);
         assert_eq!(report.clusters.len(), 5);
@@ -452,26 +543,40 @@ mod tests {
         assert!(workloads.contains(&"contract"));
         assert!(workloads.contains(&"kv-hot"));
         assert_eq!(report.schema_version, BENCH_REPORT_SCHEMA_VERSION);
+        assert_eq!(report.schema_version, 3);
+        assert!(
+            report.campaigns.len() >= 6,
+            "chaos campaign must cover at least 6 adversarial scenarios, got {}",
+            report.campaigns.len()
+        );
+        assert!(report.campaigns.iter().all(|c| c.passed));
+
         // The report is serializable and the JSON is non-trivial.
         let json = crate::to_json(&report);
         assert!(json.contains("\"engines\""));
         assert!(json.contains("Thunderbolt"));
         assert!(json.contains("\"pipeline\""));
-    }
+        assert!(json.contains("\"campaigns\""));
+        assert!(json.contains("byz-tamper-writes"));
 
-    #[test]
-    fn validation_rejects_missing_engines_and_empty_clusters() {
-        let mut report = generate(tiny_scale());
-        report.engines.retain(|e| e.engine != "Serial");
-        assert!(report.validate().is_err());
-        let mut report = generate(tiny_scale());
-        report.clusters.clear();
-        assert!(report.validate().is_err());
-    }
+        // Validation rejects structurally broken variants of the same report.
+        let mut broken = report.clone();
+        broken.engines.retain(|e| e.engine != "Serial");
+        assert!(broken.validate().is_err());
+        let mut broken = report.clone();
+        broken.clusters.clear();
+        assert!(broken.validate().is_err());
+        let mut broken = report.clone();
+        broken.campaigns.truncate(3);
+        assert!(broken.validate().is_err(), "fewer than 6 campaign rows");
+        let mut broken = report.clone();
+        broken.campaigns[0].passed = false;
+        broken.campaigns[0]
+            .failures
+            .push("synthetic failure".to_string());
+        assert!(broken.validate().is_err(), "a failed scenario must reject");
 
-    #[test]
-    fn throughput_ratios_align_on_shared_rows() {
-        let report = generate(tiny_scale());
+        // Self-ratios are exactly 1 on every shared row.
         let ratios = report.throughput_ratios(&report);
         assert_eq!(ratios.len(), report.engines.len() + report.clusters.len());
         for (key, ratio) in ratios {
@@ -480,5 +585,23 @@ mod tests {
                 "self-ratio for {key} is {ratio}"
             );
         }
+
+        // The standalone campaign report shares schema + validation.
+        let standalone = CampaignReport {
+            schema_version: report.schema_version,
+            generated_unix_ms: report.generated_unix_ms,
+            scale: report.scale.clone(),
+            campaigns: report.campaigns.clone(),
+        };
+        standalone
+            .validate()
+            .expect("campaign report must validate");
+    }
+
+    #[test]
+    fn campaign_profile_tracks_the_scale_label() {
+        assert_eq!(campaign_profile(Scale::smoke()), CampaignProfile::smoke());
+        assert_eq!(campaign_profile(Scale::quick()), CampaignProfile::quick());
+        assert_eq!(campaign_profile(tiny_scale()), CampaignProfile::quick());
     }
 }

@@ -1,0 +1,704 @@
+//! The chaos campaign: adversarial scenarios with machine-checked
+//! safety/liveness invariants.
+//!
+//! The cluster bench suite measures the system on clean runs; this module
+//! tests the paper's *robustness* claims. A [`CampaignScenario`] is a
+//! declarative bundle of a [`ScenarioBuilder`] setup (Byzantine proposers,
+//! healing partitions, WAN-tail latency, crashes under reconfiguration, a
+//! long soak) and the [`Invariant`]s that must hold after the run:
+//!
+//! * **agreement** — the FNV-1a commit-order digests of all honest replicas
+//!   are prefix-consistent ([`check_honest_agreement`]), and replicas that
+//!   committed the same full sequence hold byte-identical stores;
+//! * **liveness** — the commit height advances whenever at most `f` replicas
+//!   are faulty ([`Liveness`]);
+//! * **no lost commits across reconfiguration** — the digest chain spans the
+//!   DAG-instance boundary ([`ReconfigurationCompletes`]);
+//! * **no vacuous faults** — every scheduled fault actually fired
+//!   ([`FaultsAllApplied`]), and chaos runs report the messages their faults
+//!   dropped ([`MessageLossObserved`]).
+//!
+//! [`default_campaign`] assembles the standard scenario list; the
+//! `campaign_report` binary in `tb-bench` runs it and emits the pass/fail
+//! table that lands in `BENCH_report.json` (schema v3, `campaigns`) and is
+//! gated by the `chaos-smoke` CI job. The invariants are ordinary values, so
+//! the root integration tests share them (see `tests/chaos_campaign.rs`).
+
+use crate::cluster::ClusterSimulation;
+use crate::metrics::RunReport;
+use crate::proposer::ByzantineBehavior;
+use crate::scenario::ScenarioBuilder;
+use serde::Serialize;
+use tb_network::FaultPlan;
+use tb_types::{LatencyModel, ReconfigConfig, ReplicaId, SimTime};
+use tb_workload::SmallBankConfig;
+
+/// Everything an [`Invariant`] may inspect after a run: the finished
+/// simulation (per-replica metrics and stores), the observer's report, and
+/// the replicas the scenario declared faulty.
+pub struct InvariantContext<'a> {
+    /// The finished simulation.
+    pub sim: &'a ClusterSimulation,
+    /// The observer's run report.
+    pub report: &'a RunReport,
+    /// Replicas the scenario made Byzantine, crashed or censored. Agreement
+    /// is only required among the others.
+    pub faulty: &'a [ReplicaId],
+}
+
+/// A machine-checked post-run property of a chaos scenario.
+pub trait Invariant {
+    /// Stable name used in failure messages and reports.
+    fn name(&self) -> &'static str;
+    /// Checks the property, returning a human-readable violation on failure.
+    fn check(&self, ctx: &InvariantContext<'_>) -> Result<(), String>;
+}
+
+/// Checks that every replica outside `faulty` committed a prefix of the same
+/// `(dag, leader round, commit-order digest)` sequence, and that replicas
+/// with identical full sequences hold byte-identical stores. This is the
+/// safety core of the campaign: equal digests mean equal committed
+/// transaction sequences, and the store diff catches any divergence in how
+/// those sequences were applied.
+pub fn check_honest_agreement(sim: &ClusterSimulation, faulty: &[ReplicaId]) -> Result<(), String> {
+    /// One replica's commit history as comparable `(dag, round, digest)` triples.
+    type CommitSequence = Vec<(u64, u64, u64)>;
+    let honest: Vec<ReplicaId> = (0..sim.replica_count())
+        .map(ReplicaId::new)
+        .filter(|id| !faulty.contains(id))
+        .collect();
+    let sequences: Vec<(ReplicaId, CommitSequence)> = honest
+        .iter()
+        .map(|id| {
+            let samples = sim
+                .replica(*id)
+                .metrics()
+                .round_commits
+                .iter()
+                .map(|s| (s.dag, s.round.as_u64(), s.digest))
+                .collect();
+            (*id, samples)
+        })
+        .collect();
+    let (longest_id, longest) = sequences
+        .iter()
+        .max_by_key(|(_, s)| s.len())
+        .cloned()
+        .ok_or_else(|| "no honest replicas to compare".to_string())?;
+    for (id, sequence) in &sequences {
+        if !longest.starts_with(sequence) {
+            return Err(format!(
+                "replica {} committed a sequence that is not a prefix of replica {}'s: \
+                 {:?} vs {:?}",
+                id.as_inner(),
+                longest_id.as_inner(),
+                sequence,
+                longest
+            ));
+        }
+    }
+    // Replicas that committed the whole sequence must agree on state.
+    let reference = sim.replica(longest_id).store().snapshot();
+    for (id, sequence) in &sequences {
+        if *id != longest_id && sequence.len() == longest.len() {
+            let diverged = sim.replica(*id).store().snapshot().diff_values(&reference);
+            if !diverged.is_empty() {
+                return Err(format!(
+                    "replicas {} and {} committed the same sequence but diverge on {} keys \
+                     (first: {:?})",
+                    id.as_inner(),
+                    longest_id.as_inner(),
+                    diverged.len(),
+                    diverged.first()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Panicking form of [`check_honest_agreement`] for test suites.
+pub fn assert_honest_agreement(sim: &ClusterSimulation, faulty: &[ReplicaId]) {
+    if let Err(violation) = check_honest_agreement(sim, faulty) {
+        panic!("honest-replica agreement violated: {violation}");
+    }
+}
+
+/// Agreement + state consistency among the honest replicas
+/// ([`check_honest_agreement`] as an [`Invariant`]).
+pub struct HonestAgreement;
+
+impl Invariant for HonestAgreement {
+    fn name(&self) -> &'static str {
+        "honest-agreement"
+    }
+
+    fn check(&self, ctx: &InvariantContext<'_>) -> Result<(), String> {
+        check_honest_agreement(ctx.sim, ctx.faulty)
+    }
+}
+
+/// Commit height advances: the observer committed at least
+/// `min_round_commits` leader rounds and at least one transaction.
+pub struct Liveness {
+    /// Minimum leader-round commits required on the observer.
+    pub min_round_commits: usize,
+}
+
+impl Invariant for Liveness {
+    fn name(&self) -> &'static str {
+        "liveness"
+    }
+
+    fn check(&self, ctx: &InvariantContext<'_>) -> Result<(), String> {
+        let commits = ctx.report.round_commits.len();
+        if commits < self.min_round_commits {
+            return Err(format!(
+                "only {} leader rounds committed, needed {}",
+                commits, self.min_round_commits
+            ));
+        }
+        if ctx.report.committed_txs == 0 {
+            return Err("no transactions committed".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// The run's faults visibly dropped messages (`msgs_dropped > 0`) — a chaos
+/// scenario whose faults never cost a message did not disturb anything.
+pub struct MessageLossObserved;
+
+impl Invariant for MessageLossObserved {
+    fn name(&self) -> &'static str {
+        "message-loss-observed"
+    }
+
+    fn check(&self, ctx: &InvariantContext<'_>) -> Result<(), String> {
+        if ctx.report.msgs_dropped == 0 {
+            return Err(format!(
+                "faults dropped no messages ({} sent, {} delivered)",
+                ctx.report.msgs_sent, ctx.report.msgs_delivered
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Every scheduled fault fired before the run ended — a schedule that
+/// outlives the run tested nothing and must fail the scenario.
+pub struct FaultsAllApplied;
+
+impl Invariant for FaultsAllApplied {
+    fn name(&self) -> &'static str {
+        "faults-all-applied"
+    }
+
+    fn check(&self, ctx: &InvariantContext<'_>) -> Result<(), String> {
+        if ctx.report.faults_unapplied > 0 {
+            return Err(format!(
+                "{} scheduled faults never applied (schedule outlived the run)",
+                ctx.report.faults_unapplied
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// At least `min` reconfigurations completed, with commits on both sides of
+/// the DAG-instance boundary. Together with [`HonestAgreement`]'s digest
+/// chain (the FNV-1a fold carries across DAG instances), this checks that no
+/// committed transaction is lost across a reconfiguration.
+pub struct ReconfigurationCompletes {
+    /// Minimum completed reconfigurations.
+    pub min: u64,
+}
+
+impl Invariant for ReconfigurationCompletes {
+    fn name(&self) -> &'static str {
+        "reconfiguration-completes"
+    }
+
+    fn check(&self, ctx: &InvariantContext<'_>) -> Result<(), String> {
+        if ctx.report.reconfigurations < self.min {
+            return Err(format!(
+                "{} reconfigurations completed, needed {}",
+                ctx.report.reconfigurations, self.min
+            ));
+        }
+        let before = ctx.report.round_commits.iter().any(|s| s.dag == 0);
+        let after = ctx.report.round_commits.iter().any(|s| s.dag >= 1);
+        if !before || !after {
+            return Err(format!(
+                "commits must span the reconfiguration boundary (dag 0: {before}, dag ≥ 1: {after})"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The observer detected and discarded invalid preplayed blocks — the
+/// expected footprint of a write-tampering Byzantine proposer.
+pub struct InvalidBlocksDetected;
+
+impl Invariant for InvalidBlocksDetected {
+    fn name(&self) -> &'static str {
+        "invalid-blocks-detected"
+    }
+
+    fn check(&self, ctx: &InvariantContext<'_>) -> Result<(), String> {
+        if ctx.report.invalid_blocks == 0 {
+            return Err("validation discarded no blocks, tampering went unnoticed".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Scale knobs of the default campaign. `tb-core` cannot see `tb-bench`'s
+/// `Scale`, so the campaign carries its own profile; the bench crate maps
+/// one onto the other.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CampaignProfile {
+    /// Leader-round budget of most scenarios.
+    pub rounds: u64,
+    /// Leader-round budget of the reconfiguration scenarios (must leave room
+    /// for the silence condition `K` to trigger).
+    pub reconfig_rounds: u64,
+    /// Leader-round budget of the long soak.
+    pub soak_rounds: u64,
+    /// Preplay executor threads per replica.
+    pub executors: usize,
+    /// Transactions per block.
+    pub batch: usize,
+    /// SmallBank account pool size.
+    pub accounts: u64,
+}
+
+impl CampaignProfile {
+    /// The CI smoke profile: small enough for a debug-build test run.
+    pub fn smoke() -> Self {
+        CampaignProfile {
+            rounds: 10,
+            reconfig_rounds: 26,
+            soak_rounds: 16,
+            executors: 2,
+            batch: 32,
+            accounts: 128,
+        }
+    }
+
+    /// The committed-report profile: a longer soak and bigger batches.
+    pub fn quick() -> Self {
+        CampaignProfile {
+            rounds: 12,
+            reconfig_rounds: 26,
+            soak_rounds: 40,
+            executors: 2,
+            batch: 48,
+            accounts: 256,
+        }
+    }
+}
+
+/// One adversarial scenario: a builder recipe, the replicas it corrupts, and
+/// the invariants that must hold afterwards.
+pub struct CampaignScenario {
+    name: String,
+    description: String,
+    faulty: Vec<ReplicaId>,
+    builder: Box<dyn FnOnce() -> ScenarioBuilder>,
+    invariants: Vec<Box<dyn Invariant>>,
+}
+
+impl CampaignScenario {
+    /// Creates a scenario from a name, a one-line description and a builder
+    /// recipe. Every scenario checks [`HonestAgreement`] — it is the campaign's
+    /// reason to exist — so it is pre-installed here.
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        builder: impl FnOnce() -> ScenarioBuilder + 'static,
+    ) -> Self {
+        CampaignScenario {
+            name: name.into(),
+            description: description.into(),
+            faulty: Vec::new(),
+            builder: Box::new(builder),
+            invariants: vec![Box::new(HonestAgreement)],
+        }
+    }
+
+    /// Declares which replicas the scenario corrupts (excluded from the
+    /// agreement check).
+    pub fn faulty(mut self, replicas: impl IntoIterator<Item = u32>) -> Self {
+        self.faulty = replicas.into_iter().map(ReplicaId::new).collect();
+        self
+    }
+
+    /// Adds an invariant to check after the run.
+    pub fn invariant(mut self, invariant: impl Invariant + 'static) -> Self {
+        self.invariants.push(Box::new(invariant));
+        self
+    }
+
+    /// The scenario's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Builds the simulation, runs it, checks every invariant and returns
+    /// the per-scenario result row.
+    pub fn run(self) -> ScenarioResult {
+        let mut sim = (self.builder)().build();
+        let report = sim.run();
+        let ctx = InvariantContext {
+            sim: &sim,
+            report: &report,
+            faulty: &self.faulty,
+        };
+        let invariants: Vec<String> = self
+            .invariants
+            .iter()
+            .map(|inv| inv.name().to_string())
+            .collect();
+        let mut failures = Vec::new();
+        for invariant in &self.invariants {
+            if let Err(violation) = invariant.check(&ctx) {
+                failures.push(format!("{}: {}", invariant.name(), violation));
+            }
+        }
+        ScenarioResult {
+            scenario: self.name,
+            description: self.description,
+            passed: failures.is_empty(),
+            failures,
+            invariants,
+            committed_txs: report.committed_txs,
+            invalid_blocks: report.invalid_blocks,
+            reconfigurations: report.reconfigurations,
+            msgs_sent: report.msgs_sent,
+            msgs_delivered: report.msgs_delivered,
+            msgs_dropped: report.msgs_dropped,
+            faults_applied: report.faults_applied,
+            faults_unapplied: report.faults_unapplied,
+            throughput_tps: report.throughput_tps(),
+            commit_order_digest: report.commit_order_digest.clone(),
+        }
+    }
+}
+
+/// The pass/fail + metrics row of one scenario (the `campaigns` table of
+/// `BENCH_report.json` schema v3).
+#[derive(Clone, Debug, Serialize)]
+pub struct ScenarioResult {
+    /// Scenario name (stable, used by CI jq checks).
+    pub scenario: String,
+    /// One-line description of the adversarial setup.
+    pub description: String,
+    /// True when every invariant held.
+    pub passed: bool,
+    /// Invariant violations, empty when `passed`.
+    pub failures: Vec<String>,
+    /// Names of the invariants that were checked.
+    pub invariants: Vec<String>,
+    /// Transactions the observer committed.
+    pub committed_txs: u64,
+    /// Preplayed blocks validation discarded.
+    pub invalid_blocks: u64,
+    /// Completed reconfigurations.
+    pub reconfigurations: u64,
+    /// Messages handed to the network.
+    pub msgs_sent: u64,
+    /// Messages delivered.
+    pub msgs_delivered: u64,
+    /// Messages dropped by faults (the campaign's loss metric).
+    pub msgs_dropped: u64,
+    /// Scheduled faults that fired.
+    pub faults_applied: u64,
+    /// Scheduled faults the run never reached (must be 0 in a passing
+    /// scenario that checks [`FaultsAllApplied`]).
+    pub faults_unapplied: u64,
+    /// Committed transactions per simulated second.
+    pub throughput_tps: f64,
+    /// The observer's FNV-1a commit-order digest.
+    pub commit_order_digest: String,
+}
+
+/// Runs every scenario in order, returning one result row each.
+pub fn run_campaign(scenarios: Vec<CampaignScenario>) -> Vec<ScenarioResult> {
+    scenarios.into_iter().map(CampaignScenario::run).collect()
+}
+
+/// The standard adversarial scenario list at the given profile. Every
+/// scenario asserts honest-replica agreement; each adds the liveness and
+/// fault-specific invariants that make its adversary meaningful.
+pub fn default_campaign(profile: CampaignProfile) -> Vec<CampaignScenario> {
+    let p = profile;
+    let base = move |n: u32, rounds: u64, seed: u64, cross: f64| {
+        ScenarioBuilder::new(n)
+            .executors(p.executors, p.batch)
+            .validators(p.executors)
+            .rounds(rounds)
+            .seed(seed)
+            .latency(LatencyModel::Fixed { micros: 200 })
+            .tune(|system| system.ce = system.ce.without_synthetic_cost())
+            .workload(SmallBankConfig {
+                accounts: p.accounts,
+                n_shards: n,
+                cross_shard_fraction: cross,
+                ..SmallBankConfig::default()
+            })
+    };
+    vec![
+        CampaignScenario::new(
+            "byz-tamper-writes",
+            "replica 3 corrupts the declared write sets of its preplayed blocks",
+            move || {
+                base(4, p.rounds, 11, 0.1)
+                    .byzantine(ReplicaId::new(3), ByzantineBehavior::TamperWrites)
+            },
+        )
+        .faulty([3])
+        .invariant(Liveness {
+            min_round_commits: 1,
+        })
+        .invariant(InvalidBlocksDetected),
+        CampaignScenario::new(
+            "byz-equivocate",
+            "replica 3 sends conflicting (header, block) pairs for every round",
+            move || {
+                base(4, p.rounds, 12, 0.1)
+                    .byzantine(ReplicaId::new(3), ByzantineBehavior::Equivocate)
+            },
+        )
+        .faulty([3])
+        .invariant(Liveness {
+            min_round_commits: 1,
+        }),
+        CampaignScenario::new(
+            "byz-overfull-wrong-shard",
+            "replica 3 preplays cross-shard transactions and overfills its blocks (P1 violation)",
+            move || {
+                base(4, p.rounds, 13, 0.3)
+                    .byzantine(ReplicaId::new(3), ByzantineBehavior::OverfullWrongShard)
+            },
+        )
+        .faulty([3])
+        .invariant(Liveness {
+            min_round_commits: 1,
+        }),
+        CampaignScenario::new(
+            "partition-heal",
+            "replica 2's outbound links to replicas 0 and 1 are cut from the start and heal mid-run",
+            move || {
+                // The partition starts at t=0: the DAG has no retransmission,
+                // so a vertex certified *before* the cut but delivered to only
+                // part of the committee would wedge the rest behind a parent
+                // they can never fetch. Cutting before replica 2 can certify
+                // anything keeps the scenario about healing, not recovery.
+                base(4, p.rounds, 14, 0.1).faults(FaultPlan::asymmetric_partition(
+                    &[ReplicaId::new(2)],
+                    &[ReplicaId::new(0), ReplicaId::new(1)],
+                    SimTime::ZERO,
+                    SimTime::from_millis(3),
+                ))
+            },
+        )
+        .invariant(Liveness {
+            min_round_commits: 1,
+        })
+        .invariant(MessageLossObserved)
+        .invariant(FaultsAllApplied),
+        CampaignScenario::new(
+            "wan-tail",
+            "cross-continent base latency with a heavy jitter tail",
+            move || {
+                base(4, p.rounds, 15, 0.1).latency(LatencyModel::Jittered {
+                    base_micros: 75_000,
+                    jitter_micros: 70_000,
+                })
+            },
+        )
+        .invariant(Liveness {
+            min_round_commits: 1,
+        }),
+        CampaignScenario::new(
+            "crash-two-of-seven",
+            "two of seven replicas (f = 2) crash at the start",
+            move || {
+                base(7, p.rounds, 16, 0.1).faults(FaultPlan::crash_replicas(7, 2, SimTime::ZERO))
+            },
+        )
+        .faulty([5, 6])
+        .invariant(Liveness {
+            min_round_commits: 1,
+        })
+        .invariant(MessageLossObserved)
+        .invariant(FaultsAllApplied),
+        CampaignScenario::new(
+            "censor-reconfig",
+            "replica 2 censors from the start; the K-silence rule must rotate shards",
+            move || {
+                base(4, p.reconfig_rounds, 17, 0.0)
+                    .reconfig(ReconfigConfig::new(3, 1_000))
+                    .faults(FaultPlan::silence_from_start(ReplicaId::new(2)))
+            },
+        )
+        .faulty([2])
+        .invariant(Liveness {
+            min_round_commits: 1,
+        })
+        .invariant(ReconfigurationCompletes { min: 1 })
+        .invariant(MessageLossObserved)
+        .invariant(FaultsAllApplied),
+        CampaignScenario::new(
+            "crash-under-reconfig",
+            "periodic K' rotation under load while replica 3 crashes mid-run",
+            move || {
+                let mut faults = FaultPlan::none();
+                faults.push(
+                    SimTime::from_micros(800),
+                    tb_network::FaultAction::Crash(ReplicaId::new(3)),
+                );
+                base(4, p.reconfig_rounds, 18, 0.0)
+                    .reconfig(ReconfigConfig::new(4, 6))
+                    .faults(faults)
+            },
+        )
+        .faulty([3])
+        .invariant(Liveness {
+            min_round_commits: 1,
+        })
+        .invariant(ReconfigurationCompletes { min: 1 })
+        .invariant(FaultsAllApplied),
+        CampaignScenario::new(
+            "soak-open-loop",
+            "long fault-free open-loop run under LAN jitter",
+            move || base(4, p.soak_rounds, 19, 0.1).latency(LatencyModel::lan()),
+        )
+        .invariant(Liveness {
+            min_round_commits: (p.soak_rounds / 4).max(1) as usize,
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ExecutionMode;
+
+    fn tiny(n: u32, rounds: u64) -> ScenarioBuilder {
+        ScenarioBuilder::new(n)
+            .engine(ExecutionMode::Thunderbolt)
+            .executors(2, 32)
+            .validators(2)
+            .rounds(rounds)
+            .latency(LatencyModel::Fixed { micros: 100 })
+            .tune(|system| system.ce = system.ce.without_synthetic_cost())
+            .workload(SmallBankConfig {
+                accounts: 64,
+                n_shards: n,
+                cross_shard_fraction: 0.1,
+                ..SmallBankConfig::default()
+            })
+    }
+
+    #[test]
+    fn clean_run_satisfies_agreement_and_liveness() {
+        let result = CampaignScenario::new("clean", "no faults", || tiny(4, 8))
+            .invariant(Liveness {
+                min_round_commits: 1,
+            })
+            .run();
+        assert!(result.passed, "failures: {:?}", result.failures);
+        assert!(result.committed_txs > 0);
+        assert_eq!(result.faults_unapplied, 0);
+        assert_eq!(
+            result.invariants,
+            vec!["honest-agreement", "liveness"],
+            "agreement is pre-installed, liveness added"
+        );
+    }
+
+    #[test]
+    fn impossible_invariant_marks_the_scenario_failed() {
+        let result =
+            CampaignScenario::new("doomed", "asks for more commits than the budget", || {
+                tiny(4, 8)
+            })
+            .invariant(Liveness {
+                min_round_commits: 10_000,
+            })
+            .run();
+        assert!(!result.passed);
+        assert_eq!(result.failures.len(), 1);
+        assert!(
+            result.failures[0].starts_with("liveness:"),
+            "{:?}",
+            result.failures
+        );
+    }
+
+    #[test]
+    fn unapplied_faults_fail_the_faults_all_applied_invariant() {
+        let mut faults = FaultPlan::none();
+        faults.push(
+            SimTime::from_secs(3_600),
+            tb_network::FaultAction::Crash(ReplicaId::new(3)),
+        );
+        let result =
+            CampaignScenario::new("outlived", "fault schedule outlives the run", move || {
+                tiny(4, 8).faults(faults)
+            })
+            .invariant(FaultsAllApplied)
+            .run();
+        assert!(!result.passed);
+        assert_eq!(result.faults_unapplied, 1);
+        assert!(
+            result
+                .failures
+                .iter()
+                .any(|f| f.starts_with("faults-all-applied:")),
+            "{:?}",
+            result.failures
+        );
+    }
+
+    #[test]
+    fn tampering_proposer_is_detected_and_tolerated() {
+        let result = CampaignScenario::new("tamper", "byzantine writes", || {
+            tiny(4, 8).byzantine(ReplicaId::new(3), ByzantineBehavior::TamperWrites)
+        })
+        .faulty([3])
+        .invariant(Liveness {
+            min_round_commits: 1,
+        })
+        .invariant(InvalidBlocksDetected)
+        .run();
+        assert!(result.passed, "failures: {:?}", result.failures);
+        assert!(result.invalid_blocks > 0);
+    }
+
+    #[test]
+    fn default_campaign_lists_the_documented_scenarios() {
+        let scenarios = default_campaign(CampaignProfile::smoke());
+        assert!(
+            scenarios.len() >= 6,
+            "need at least six adversarial scenarios"
+        );
+        let names: Vec<&str> = scenarios.iter().map(|s| s.name()).collect();
+        for expected in [
+            "byz-tamper-writes",
+            "byz-equivocate",
+            "byz-overfull-wrong-shard",
+            "partition-heal",
+            "wan-tail",
+            "crash-two-of-seven",
+            "censor-reconfig",
+            "crash-under-reconfig",
+            "soak-open-loop",
+        ] {
+            assert!(names.contains(&expected), "missing scenario {expected}");
+        }
+    }
+}

@@ -20,6 +20,7 @@
 
 use crate::messages::Message;
 use crate::metrics::RunReport;
+use crate::proposer::ByzantineBehavior;
 use crate::replica::{Destination, Replica};
 use std::time::Duration;
 use tb_network::{FaultPlan, NetEvent, SimNetwork};
@@ -63,6 +64,10 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// Optional label overriding the mode label in reports.
     pub label: Option<String>,
+    /// Make one replica's proposer Byzantine (chaos campaigns). The cluster
+    /// harness instantiates every replica from the same config; each replica
+    /// compares its own id against this entry.
+    pub byzantine: Option<(ReplicaId, ByzantineBehavior)>,
 }
 
 impl ClusterConfig {
@@ -74,6 +79,7 @@ impl ClusterConfig {
             use_skip_blocks: false,
             seed: 42,
             label: None,
+            byzantine: None,
         }
     }
 
@@ -105,6 +111,12 @@ impl ClusterConfig {
     /// Overrides the label recorded in reports.
     pub fn with_label(mut self, label: impl Into<String>) -> Self {
         self.label = Some(label.into());
+        self
+    }
+
+    /// Makes `replica`'s proposer exhibit `behavior` (chaos campaigns).
+    pub fn with_byzantine(mut self, replica: ReplicaId, behavior: ByzantineBehavior) -> Self {
+        self.byzantine = Some((replica, behavior));
         self
     }
 
@@ -247,7 +259,29 @@ impl ClusterSimulation {
             .unwrap_or_else(|| self.network.now());
         let mut report = observer.report(&self.config.label(), duration);
         report.workload = self.workload.name().to_string();
+        let stats = self.network.stats();
+        report.msgs_sent = stats.sent;
+        report.msgs_delivered = stats.delivered;
+        report.msgs_dropped = stats.dropped;
+        report.faults_applied = self.faults.applied() as u64;
+        report.faults_unapplied = self.faults.remaining() as u64;
+        if report.faults_unapplied > 0 {
+            // A fault schedule that outlives the run silently tested nothing;
+            // surface it both on stderr and in the report.
+            eprintln!(
+                "warning: {} of {} scheduled faults never applied — the fault \
+                 schedule outlived the run (ended at {})",
+                report.faults_unapplied,
+                self.faults.len(),
+                self.network.now()
+            );
+        }
         report
+    }
+
+    /// Number of replicas in the cluster.
+    pub fn replica_count(&self) -> u32 {
+        self.replicas.len() as u32
     }
 
     fn observer(&self) -> &Replica {
@@ -447,6 +481,25 @@ mod tests {
         let mut sim = ClusterSimulation::new(config, workload(4, 0.0), faults);
         let report = sim.run();
         assert!(report.committed_txs > 0, "f=1 crash must not halt commits");
+    }
+
+    #[test]
+    fn run_reports_message_loss_and_fault_accounting() {
+        let config = small_config(ExecutionMode::Thunderbolt, 4, 8);
+        let mut faults = FaultPlan::crash_replicas(4, 1, SimTime::ZERO);
+        // A recovery scheduled an hour out can never fire in this run; the
+        // report must say so instead of silently dropping it.
+        faults.push(
+            SimTime::from_secs(3_600),
+            tb_network::FaultAction::Recover(ReplicaId::new(3)),
+        );
+        let mut sim = ClusterSimulation::new(config, workload(4, 0.0), faults);
+        let report = sim.run();
+        assert!(report.msgs_sent > 0);
+        assert!(report.msgs_delivered > 0);
+        assert!(report.msgs_dropped > 0, "crashed replica must drop traffic");
+        assert_eq!(report.faults_applied, 1);
+        assert_eq!(report.faults_unapplied, 1);
     }
 
     #[test]

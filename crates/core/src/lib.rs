@@ -23,7 +23,10 @@
 //!   (Figures 13–17),
 //! * [`scenario`] — the fluent [`ScenarioBuilder`] assembling engine,
 //!   workload, rounds, faults, seed and label into a runnable simulation,
-//! * [`metrics`] — run reports (throughput, latency, per-round commit times).
+//! * [`metrics`] — run reports (throughput, latency, per-round commit times),
+//! * [`campaign`] — the chaos campaign: adversarial scenarios (Byzantine
+//!   proposers, healing partitions, WAN tails, crashes + reconfiguration)
+//!   with machine-checked safety/liveness invariants.
 //!
 //! The library is named `tb_core`; downstream users normally reach it
 //! through the workspace façade crate `thunderbolt` and its prelude
@@ -32,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod cluster;
 pub mod commit;
 pub mod messages;
@@ -40,10 +44,14 @@ pub mod proposer;
 pub mod replica;
 pub mod scenario;
 
+pub use campaign::{
+    assert_honest_agreement, check_honest_agreement, default_campaign, run_campaign,
+    CampaignProfile, CampaignScenario, Invariant, InvariantContext, ScenarioResult,
+};
 pub use cluster::{ClusterConfig, ClusterSimulation, ExecutionMode};
 pub use commit::{CommitOutput, CommitPipeline, PostCommitExecution};
 pub use messages::Message;
 pub use metrics::{LatencyHistogram, RoundCommitSample, RunReport};
-pub use proposer::{ProposalDecision, ShardProposer};
+pub use proposer::{ByzantineBehavior, ProposalDecision, ShardProposer};
 pub use replica::{Destination, Outbound, Replica};
 pub use scenario::ScenarioBuilder;

@@ -83,6 +83,11 @@ pub struct RoundCommitSample {
     pub round: Round,
     /// Simulated time at which the round committed on the observer replica.
     pub committed_at: SimTime,
+    /// Snapshot of the replica's cumulative FNV-1a commit-order digest after
+    /// this round committed. Honest replicas that committed the same prefix
+    /// carry identical `(dag, round, digest)` samples, which is what the
+    /// chaos campaign's agreement invariant checks.
+    pub digest: u64,
 }
 
 /// Aggregated result of one simulation run, measured on the observer replica
@@ -145,6 +150,19 @@ pub struct RunReport {
     pub round_commits: Vec<RoundCommitSample>,
     /// Highest round reached on the observer replica.
     pub highest_round: Round,
+    /// Messages handed to the simulated network during the run.
+    pub msgs_sent: u64,
+    /// Messages the network actually delivered.
+    pub msgs_delivered: u64,
+    /// Messages dropped by faults (crashes, silences, blocked links, random
+    /// loss). Chaos runs assert this is visible rather than silently eaten.
+    pub msgs_dropped: u64,
+    /// Scheduled faults the driver applied before the run ended.
+    pub faults_applied: u64,
+    /// Scheduled faults whose activation time the run never reached. A
+    /// non-zero value means the fault schedule outlived the run — the
+    /// scenario did not test what it claimed to.
+    pub faults_unapplied: u64,
 }
 
 impl RunReport {
@@ -243,6 +261,7 @@ mod tests {
                     dag: 0,
                     round: Round::new(i * 2 + 1),
                     committed_at: SimTime::from_millis(100 * (i + 1)),
+                    digest: 0,
                 })
                 .collect(),
             ..RunReport::default()

@@ -17,7 +17,9 @@ use crate::cluster::{ClusterConfig, ExecutionMode};
 use crate::commit::{CommitPipeline, PostCommitExecution};
 use crate::messages::Message;
 use crate::metrics::{LatencyHistogram, RoundCommitSample, RunReport};
-use crate::proposer::{decide, ProposalContext, ProposalDecision, ShardProposer};
+use crate::proposer::{
+    decide, ByzantineBehavior, ProposalContext, ProposalDecision, ShardProposer,
+};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 use tb_dag::{Committer, DagError, DagStore};
@@ -300,6 +302,13 @@ impl Replica {
             commit_order_digest: format!("{:016x}", self.metrics.commit_order_digest),
             round_commits: self.metrics.round_commits.clone(),
             highest_round: self.dag.highest_round(),
+            // Network-level accounting lives in the simulator; the cluster
+            // harness fills these in after the run.
+            msgs_sent: 0,
+            msgs_delivered: 0,
+            msgs_dropped: 0,
+            faults_applied: 0,
+            faults_unapplied: 0,
         }
     }
 
@@ -404,6 +413,16 @@ impl Replica {
             self.dag.certificates_at_round(self.current_round.prev())
         };
         self.seq += 1;
+        let byzantine = self.byzantine_behavior();
+        let payload = match byzantine {
+            Some(ByzantineBehavior::TamperWrites) if kind == BlockKind::Normal => {
+                Self::tamper_writes(payload)
+            }
+            Some(ByzantineBehavior::OverfullWrongShard) if kind == BlockKind::Normal => {
+                self.overfill_payload(payload)
+            }
+            _ => payload,
+        };
         let mut block = Block::normal(
             self.dag_id,
             self.current_round,
@@ -419,7 +438,7 @@ impl Replica {
             self.current_round,
             self.id,
             block.digest(),
-            parents,
+            parents.clone(),
             now,
         );
         self.my_header = Some(PendingHeader {
@@ -431,7 +450,110 @@ impl Replica {
         self.proposed_current = true;
         self.rounds_proposed_in_dag += 1;
         self.busy += started.elapsed();
+        if byzantine == Some(ByzantineBehavior::Equivocate) && kind == BlockKind::Normal {
+            return self.equivocate(header, block, parents, now);
+        }
         vec![Outbound::broadcast(Message::Header { header, block })]
+    }
+
+    /// The Byzantine behaviour this replica is configured to exhibit, if any.
+    fn byzantine_behavior(&self) -> Option<ByzantineBehavior> {
+        match self.config.byzantine {
+            Some((id, behavior)) if id == self.id => Some(behavior),
+            _ => None,
+        }
+    }
+
+    /// [`ByzantineBehavior::TamperWrites`]: corrupt the first declared write
+    /// so the block's declared effects no longer re-execute.
+    fn tamper_writes(mut payload: BlockPayload) -> BlockPayload {
+        for preplayed in payload.single_shard.iter_mut() {
+            if let Some(record) = preplayed.outcome.write_set.first_mut() {
+                record.value = Value::int(i64::MIN / 2);
+                break;
+            }
+        }
+        payload
+    }
+
+    /// [`ByzantineBehavior::OverfullWrongShard`]: stuff a second single-shard
+    /// batch *and* preplayed cross-shard transactions (a P1 violation: their
+    /// writes land outside this proposer's shard) into the block.
+    fn overfill_payload(&mut self, mut payload: BlockPayload) -> BlockPayload {
+        let mut extra = self.proposer.take_single_batch();
+        extra.extend(
+            self.proposer
+                .take_cross_batch(self.config.system.ce.batch_size),
+        );
+        if !extra.is_empty() {
+            let preplayed = self.preplay(&extra);
+            payload.single_shard.extend(preplayed);
+        }
+        payload
+    }
+
+    /// [`ByzantineBehavior::Equivocate`]: send the real (header, block) pair
+    /// to itself plus the smallest quorum of peers, and a conflicting empty
+    /// variant for the same round to everyone else. Only one variant can
+    /// gather a certificate, so honest replicas adopt a single vertex.
+    fn equivocate(
+        &mut self,
+        header: Header,
+        block: Block,
+        parents: Vec<Digest>,
+        now: SimTime,
+    ) -> Vec<Outbound> {
+        let mut alt_block = Block::normal(
+            self.dag_id,
+            self.current_round,
+            self.id,
+            self.proposer.shard(),
+            SeqNo::new(self.seq),
+            BlockPayload::empty(),
+            now,
+        );
+        alt_block.kind = BlockKind::Normal;
+        let alt_header = Header::new(
+            self.dag_id,
+            self.current_round,
+            self.id,
+            alt_block.digest(),
+            parents,
+            now,
+        );
+        let quorum = self.committee.quorum_threshold();
+        let mut out = vec![Outbound::to(
+            self.id,
+            Message::Header {
+                header: header.clone(),
+                block: block.clone(),
+            },
+        )];
+        let mut primary_recipients = 1; // the self-ack counts toward quorum
+        for peer in self.committee.replicas() {
+            if peer == self.id {
+                continue;
+            }
+            if primary_recipients < quorum {
+                out.push(Outbound::to(
+                    peer,
+                    Message::Header {
+                        header: header.clone(),
+                        block: block.clone(),
+                    },
+                ));
+                primary_recipients += 1;
+            } else {
+                out.push(Outbound::to(
+                    peer,
+                    Message::Header {
+                        header: alt_header.clone(),
+                        block: alt_block.clone(),
+                    },
+                ));
+            }
+        }
+        out
     }
 
     /// Preplays a batch of single-shard transactions against committed state
@@ -676,6 +798,7 @@ impl Replica {
                 dag: self.dag_id.as_inner(),
                 round: sub_dag.leader_round,
                 committed_at: now,
+                digest: self.metrics.commit_order_digest,
             });
             // Drop overlay entries for this replica's own delivered blocks.
             for vertex in &sub_dag.vertices {
@@ -781,6 +904,7 @@ mod tests {
             use_skip_blocks: false,
             seed: 7,
             label: None,
+            byzantine: None,
         }
     }
 

@@ -30,8 +30,9 @@
 
 use crate::cluster::{ClusterConfig, ClusterSimulation, ExecutionMode};
 use crate::metrics::RunReport;
+use crate::proposer::ByzantineBehavior;
 use tb_network::FaultPlan;
-use tb_types::{CeConfig, LatencyModel, ReconfigConfig, SystemConfig};
+use tb_types::{CeConfig, LatencyModel, ReconfigConfig, ReplicaId, SystemConfig};
 use tb_workload::{SmallBankConfig, Workload};
 
 /// Fluent builder for cluster scenarios.
@@ -91,9 +92,20 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Injects a fault plan (crashes, censoring, partitions).
+    /// Injects a fault plan (crashes, censoring, partitions). If the plan's
+    /// schedule outlives the run, the resulting [`RunReport`] records the
+    /// count in `faults_unapplied` and the run warns on stderr — a fault
+    /// plan must not no-op silently.
     pub fn faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Makes `replica`'s proposer Byzantine (chaos campaigns): it equivocates,
+    /// tampers with declared write sets, or violates the batching rules
+    /// depending on `behavior`.
+    pub fn byzantine(mut self, replica: ReplicaId, behavior: ByzantineBehavior) -> Self {
+        self.config.byzantine = Some((replica, behavior));
         self
     }
 
@@ -190,6 +202,7 @@ mod tests {
             .validators(5)
             .reconfig(ReconfigConfig::new(4, 10))
             .skip_blocks(true)
+            .byzantine(ReplicaId::new(2), ByzantineBehavior::Equivocate)
             .tune(|system| system.pipelined_commit = false);
         let config = builder.config();
         assert_eq!(config.system.n_replicas, 7);
@@ -204,6 +217,10 @@ mod tests {
         assert_eq!(config.system.reconfig, ReconfigConfig::new(4, 10));
         assert!(config.use_skip_blocks);
         assert!(!config.system.pipelined_commit);
+        assert_eq!(
+            config.byzantine,
+            Some((ReplicaId::new(2), ByzantineBehavior::Equivocate))
+        );
         assert_eq!(config.label(), "custom");
     }
 

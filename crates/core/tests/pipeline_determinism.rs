@@ -142,6 +142,7 @@ fn cluster_config(pipelined: bool) -> ClusterConfig {
         use_skip_blocks: false,
         seed: 7,
         label: None,
+        byzantine: None,
     }
 }
 

@@ -22,6 +22,11 @@ pub enum FaultAction {
     Silence(ReplicaId),
     /// Undo a silence.
     Unsilence(ReplicaId),
+    /// Block the directed link `from → to` (messages in that direction are
+    /// dropped). Blocking one direction only yields an *asymmetric* partition.
+    BlockLink(ReplicaId, ReplicaId),
+    /// Heal a previously blocked directed link.
+    UnblockLink(ReplicaId, ReplicaId),
 }
 
 /// A scheduled fault.
@@ -64,6 +69,37 @@ impl FaultPlan {
         plan
     }
 
+    /// Silences a replica at `from` and restores it at `until` — censorship
+    /// that begins mid-run and later stops (delayed silence).
+    pub fn silence_between(replica: ReplicaId, from: SimTime, until: SimTime) -> Self {
+        let mut plan = FaultPlan::none();
+        plan.push(from, FaultAction::Silence(replica));
+        plan.push(until, FaultAction::Unsilence(replica));
+        plan
+    }
+
+    /// Blocks every directed link from `sources` to `targets` at `from`, and
+    /// heals them at `heal_at`. Only the `sources → targets` direction is
+    /// blocked, so this models an *asymmetric* partition: the targets keep
+    /// reaching the sources while the reverse traffic is dropped.
+    pub fn asymmetric_partition(
+        sources: &[ReplicaId],
+        targets: &[ReplicaId],
+        from: SimTime,
+        heal_at: SimTime,
+    ) -> Self {
+        let mut plan = FaultPlan::none();
+        for &src in sources {
+            for &dst in targets {
+                if src != dst {
+                    plan.push(from, FaultAction::BlockLink(src, dst));
+                    plan.push(heal_at, FaultAction::UnblockLink(src, dst));
+                }
+            }
+        }
+        plan
+    }
+
     /// Adds a fault, keeping the plan sorted by activation time.
     pub fn push(&mut self, at: SimTime, action: FaultAction) {
         self.faults.push(ScheduledFault { at, action });
@@ -90,6 +126,8 @@ impl FaultPlan {
                 FaultAction::Recover(r) => network.recover(r),
                 FaultAction::Silence(r) => network.silence(r),
                 FaultAction::Unsilence(r) => network.unsilence(r),
+                FaultAction::BlockLink(from, to) => network.block_link(from, to),
+                FaultAction::UnblockLink(from, to) => network.unblock_link(from, to),
             }
             self.cursor += 1;
             applied += 1;
@@ -100,6 +138,18 @@ impl FaultPlan {
     /// True once every fault has been applied.
     pub fn exhausted(&self) -> bool {
         self.cursor >= self.faults.len()
+    }
+
+    /// Number of faults already applied by [`apply_due`](Self::apply_due).
+    pub fn applied(&self) -> usize {
+        self.cursor
+    }
+
+    /// Number of scheduled faults not yet applied. A run that finishes with
+    /// `remaining() > 0` had a fault schedule that outlived it — the faults
+    /// silently never happened, which usually means a mis-scheduled campaign.
+    pub fn remaining(&self) -> usize {
+        self.faults.len() - self.cursor
     }
 }
 
@@ -137,6 +187,50 @@ mod tests {
         assert_eq!(plan.apply_due(SimTime::from_secs(3), &mut net), 1);
         assert!(!net.is_crashed(ReplicaId::new(3)));
         assert_eq!(plan.apply_due(SimTime::from_secs(4), &mut net), 0);
+    }
+
+    #[test]
+    fn asymmetric_partition_blocks_one_direction_then_heals() {
+        let a = ReplicaId::new(2);
+        let b = ReplicaId::new(0);
+        let mut plan = FaultPlan::asymmetric_partition(
+            &[a],
+            &[b],
+            SimTime::from_millis(1),
+            SimTime::from_millis(5),
+        );
+        assert_eq!(plan.len(), 2);
+        let mut net: SimNetwork<u8> = SimNetwork::new(4, LatencyModel::Instant, 0);
+        assert_eq!(plan.apply_due(SimTime::from_millis(1), &mut net), 1);
+        assert_eq!(plan.applied(), 1);
+        assert_eq!(plan.remaining(), 1);
+        // a → b is dropped; b → a still flows (asymmetry).
+        net.send(a, b, 1);
+        assert!(net.next_event().is_none());
+        net.send(b, a, 2);
+        assert!(net.next_event().is_some());
+        // After the heal the link carries traffic again.
+        assert_eq!(plan.apply_due(SimTime::from_millis(5), &mut net), 1);
+        assert!(plan.exhausted());
+        assert_eq!(plan.remaining(), 0);
+        net.send(a, b, 3);
+        assert!(net.next_event().is_some());
+    }
+
+    #[test]
+    fn silence_between_censors_only_inside_the_window() {
+        let mut plan = FaultPlan::silence_between(
+            ReplicaId::new(1),
+            SimTime::from_millis(2),
+            SimTime::from_millis(4),
+        );
+        let mut net: SimNetwork<u8> = SimNetwork::new(4, LatencyModel::Instant, 0);
+        plan.apply_due(SimTime::from_millis(2), &mut net);
+        net.send(ReplicaId::new(1), ReplicaId::new(0), 1);
+        assert!(net.next_event().is_none());
+        plan.apply_due(SimTime::from_millis(4), &mut net);
+        net.send(ReplicaId::new(1), ReplicaId::new(0), 2);
+        assert!(net.next_event().is_some());
     }
 
     #[test]

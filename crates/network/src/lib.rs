@@ -16,5 +16,5 @@
 pub mod faults;
 pub mod sim;
 
-pub use faults::FaultPlan;
+pub use faults::{FaultAction, FaultPlan, ScheduledFault};
 pub use sim::{NetEvent, NetworkStats, SimNetwork};

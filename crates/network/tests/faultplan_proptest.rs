@@ -1,0 +1,116 @@
+//! Property-based tests of [`FaultPlan`]'s scheduling contract:
+//!
+//! * pushes in arbitrary (out-of-order) timestamp order still apply in
+//!   non-decreasing activation-time order;
+//! * `apply_due` is idempotent at the same `SimTime` — a second call at the
+//!   same instant applies nothing;
+//! * `applied() + remaining() == len()` and `exhausted()` agree with the
+//!   counters at every step of any application schedule.
+
+use proptest::prelude::*;
+use tb_network::{FaultAction, FaultPlan, SimNetwork};
+use tb_types::{LatencyModel, ReplicaId, SimTime};
+
+const N: u32 = 8;
+
+/// Strategy producing one fault action over a small committee. Pairs are
+/// arbitrary (including `from == to`: the plan schedules whatever it is
+/// given; only the helper constructors filter self-links).
+fn action() -> impl Strategy<Value = FaultAction> {
+    prop_oneof![
+        (0..N).prop_map(|r| FaultAction::Crash(ReplicaId::new(r))),
+        (0..N).prop_map(|r| FaultAction::Recover(ReplicaId::new(r))),
+        (0..N).prop_map(|r| FaultAction::Silence(ReplicaId::new(r))),
+        (0..N).prop_map(|r| FaultAction::Unsilence(ReplicaId::new(r))),
+        (0..N, 0..N)
+            .prop_map(|(a, b)| FaultAction::BlockLink(ReplicaId::new(a), ReplicaId::new(b))),
+        (0..N, 0..N)
+            .prop_map(|(a, b)| FaultAction::UnblockLink(ReplicaId::new(a), ReplicaId::new(b))),
+    ]
+}
+
+/// A schedule: faults with arbitrary micro-timestamps, in push order.
+fn schedule() -> impl Strategy<Value = Vec<(u64, FaultAction)>> {
+    prop::collection::vec((0u64..5_000, action()), 0..24)
+}
+
+fn plan_of(faults: &[(u64, FaultAction)]) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    for &(at, action) in faults {
+        plan.push(SimTime::from_micros(at), action);
+    }
+    plan
+}
+
+fn net() -> SimNetwork<u8> {
+    SimNetwork::new(N, LatencyModel::Instant, 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever order the faults were pushed in, advancing the clock one
+    /// fault at a time applies them in non-decreasing activation-time
+    /// order, and sweeping past the last timestamp exhausts the plan.
+    #[test]
+    fn out_of_order_pushes_apply_in_time_order(faults in schedule()) {
+        let mut plan = plan_of(&faults);
+        prop_assert_eq!(plan.len(), faults.len());
+        let mut network = net();
+
+        let mut times: Vec<u64> = faults.iter().map(|&(at, _)| at).collect();
+        times.sort_unstable();
+        let mut applied_so_far = 0usize;
+        for &at in &times {
+            plan.apply_due(SimTime::from_micros(at), &mut network);
+            // Everything at or before `at` is applied, nothing later is.
+            let due = times.iter().filter(|&&t| t <= at).count();
+            prop_assert_eq!(plan.applied(), due);
+            prop_assert!(plan.applied() >= applied_so_far);
+            applied_so_far = plan.applied();
+        }
+        prop_assert!(plan.exhausted());
+        prop_assert_eq!(plan.remaining(), 0);
+    }
+
+    /// `apply_due` at the same instant twice applies nothing the second
+    /// time: a driver that polls the plan repeatedly at one virtual time
+    /// must not double-apply faults.
+    #[test]
+    fn apply_due_is_idempotent_at_the_same_time(faults in schedule(), at in 0u64..6_000) {
+        let mut plan = plan_of(&faults);
+        let mut network = net();
+        let now = SimTime::from_micros(at);
+        let first = plan.apply_due(now, &mut network);
+        prop_assert_eq!(first, faults.iter().filter(|&&(t, _)| t <= at).count());
+        let again = plan.apply_due(now, &mut network);
+        prop_assert_eq!(again, 0);
+        prop_assert_eq!(plan.applied(), first);
+    }
+
+    /// The accounting identity `applied() + remaining() == len()` holds at
+    /// every step of an arbitrary monotone application schedule, and
+    /// `exhausted()` flips exactly when `remaining()` reaches zero.
+    #[test]
+    fn counters_stay_consistent_under_any_schedule(
+        faults in schedule(),
+        probes in prop::collection::vec(0u64..6_000, 1..8),
+    ) {
+        let mut plan = plan_of(&faults);
+        let mut network = net();
+        let mut probes = probes;
+        probes.sort_unstable();
+        let mut total_applied = 0usize;
+        for &at in &probes {
+            total_applied += plan.apply_due(SimTime::from_micros(at), &mut network);
+            prop_assert_eq!(plan.applied(), total_applied);
+            prop_assert_eq!(plan.applied() + plan.remaining(), plan.len());
+            prop_assert_eq!(plan.exhausted(), plan.remaining() == 0);
+        }
+        // `is_empty` must agree with `len` — the comparison is the point here,
+        // so clippy's "just call is_empty" suggestion would erase the check.
+        #[allow(clippy::len_zero)]
+        let len_is_zero = plan.len() == 0;
+        prop_assert_eq!(plan.is_empty(), len_is_zero);
+    }
+}

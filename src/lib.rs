@@ -49,9 +49,11 @@ pub use tb_workload;
 // Protocol items at the crate root, so pre-prelude paths like
 // `thunderbolt::ClusterSimulation` keep working.
 pub use tb_core::{
-    ClusterConfig, ClusterSimulation, CommitOutput, CommitPipeline, Destination, ExecutionMode,
-    LatencyHistogram, Message, Outbound, PostCommitExecution, Replica, RoundCommitSample,
-    RunReport, ScenarioBuilder, ShardProposer,
+    assert_honest_agreement, check_honest_agreement, ByzantineBehavior, CampaignProfile,
+    CampaignScenario, ClusterConfig, ClusterSimulation, CommitOutput, CommitPipeline, Destination,
+    ExecutionMode, Invariant, InvariantContext, LatencyHistogram, Message, Outbound,
+    PostCommitExecution, Replica, RoundCommitSample, RunReport, ScenarioBuilder, ScenarioResult,
+    ShardProposer,
 };
 
 /// The curated single-import surface for writing scenarios.
@@ -62,8 +64,13 @@ pub use tb_core::{
 /// bundled generators, the execution engines, the store, and the shared
 /// types they all speak.
 pub mod prelude {
+    pub use tb_core::campaign::{
+        assert_honest_agreement, check_honest_agreement, default_campaign, run_campaign,
+        CampaignProfile, CampaignScenario, Invariant, InvariantContext, ScenarioResult,
+    };
     pub use tb_core::cluster::{ClusterConfig, ClusterSimulation, ExecutionMode};
     pub use tb_core::metrics::{LatencyHistogram, RoundCommitSample, RunReport};
+    pub use tb_core::proposer::ByzantineBehavior;
     pub use tb_core::replica::{Destination, Outbound, Replica};
     pub use tb_core::scenario::ScenarioBuilder;
     pub use tb_core::Message;
@@ -82,7 +89,7 @@ pub mod prelude {
         execute_call, MapState, ProgramBuilder, TrackingState, SMALLBANK_DEFAULT_BALANCE,
     };
 
-    pub use tb_network::FaultPlan;
+    pub use tb_network::{FaultAction, FaultPlan};
     pub use tb_storage::{KvRead, KvWrite, MemStore};
 
     pub use tb_types::{

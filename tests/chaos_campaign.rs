@@ -1,0 +1,75 @@
+//! The chaos campaign as a tier-1 integration test: every adversarial
+//! scenario of the default campaign — Byzantine proposers, a healing
+//! asymmetric partition, WAN tails, crashes, censorship under
+//! reconfiguration, a soak — runs at smoke scale and must satisfy its
+//! machine-checked safety/liveness invariants.
+//!
+//! `campaign_report` (tb-bench) runs the same campaign for CI's
+//! `chaos-smoke` job; this test keeps `cargo test` self-sufficient.
+
+use thunderbolt::prelude::*;
+
+#[test]
+fn default_campaign_passes_at_smoke_scale() {
+    let results = run_campaign(default_campaign(CampaignProfile::smoke()));
+    assert!(
+        results.len() >= 6,
+        "the campaign must cover at least 6 adversarial scenarios, got {}",
+        results.len()
+    );
+    for result in &results {
+        assert!(
+            result.passed,
+            "scenario {} violated {:?}",
+            result.scenario, result.failures
+        );
+        assert!(
+            result.committed_txs > 0,
+            "scenario {} committed nothing",
+            result.scenario
+        );
+        assert!(result.failures.is_empty());
+        assert!(!result.invariants.is_empty());
+        assert_eq!(result.commit_order_digest.len(), 16, "16-hex-digit digest");
+    }
+    // The campaign exercises real adversity: at least one scenario observed
+    // message loss, at least one detected invalid (Byzantine) blocks, and
+    // at least one completed a reconfiguration under faults.
+    assert!(results.iter().any(|r| r.msgs_dropped > 0));
+    assert!(results.iter().any(|r| r.invalid_blocks > 0));
+    assert!(results.iter().any(|r| r.reconfigurations > 0));
+    assert!(results.iter().all(|r| r.faults_unapplied == 0));
+}
+
+/// A custom scenario through the public API: an invariant that cannot hold
+/// marks the scenario failed instead of panicking, so campaign runners can
+/// report every scenario even when one breaks.
+#[test]
+fn custom_scenarios_report_failures_without_panicking() {
+    struct Impossible;
+    impl Invariant for Impossible {
+        fn name(&self) -> &'static str {
+            "impossible"
+        }
+        fn check(&self, _ctx: &InvariantContext<'_>) -> Result<(), String> {
+            Err("always fails".to_string())
+        }
+    }
+
+    let results = run_campaign(vec![CampaignScenario::new(
+        "custom-impossible",
+        "a scenario carrying an invariant that always fails",
+        || {
+            ScenarioBuilder::new(4)
+                .executors(2, 32)
+                .validators(2)
+                .rounds(6)
+                .latency(LatencyModel::Fixed { micros: 200 })
+                .tune(|s| s.ce = s.ce.without_synthetic_cost())
+        },
+    )
+    .invariant(Impossible)]);
+    assert_eq!(results.len(), 1);
+    assert!(!results[0].passed);
+    assert!(results[0].failures.iter().any(|f| f.contains("impossible")));
+}
