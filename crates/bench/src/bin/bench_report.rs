@@ -32,6 +32,16 @@ fn main() {
         eprintln!("bench_report: INVALID report: {reason}");
         std::process::exit(1);
     }
+    // Silent-zero pathology probe (warn-only): a pipeline counter that
+    // rounds to zero on *every* scenario usually means the machinery behind
+    // it went dead — exactly how `coalesced_batches: 0` shipped unnoticed in
+    // three consecutive baselines before ROADMAP item 2 was fixed.
+    for field in report.silent_zero_counters() {
+        eprintln!(
+            "bench_report: WARNING: {field} rounds to zero across all cluster \
+             scenarios — a stage or counter may be dead (see docs/PIPELINE.md)"
+        );
+    }
 
     let json = tb_bench::to_json(&report);
     if let Err(err) = std::fs::write(&out_path, &json) {
@@ -51,12 +61,21 @@ fn main() {
         );
     }
     println!(
-        "\n{:<24} {:<10} {:>12} {:>12} {:>12} {:>9} {:>9} {:>9}",
-        "scenario", "workload", "tps", "p50(s)", "p99(s)", "val%", "apply%", "exec%"
+        "\n{:<24} {:<10} {:>12} {:>12} {:>12} {:>9} {:>9} {:>9} {:>7} {:>7}",
+        "scenario",
+        "workload",
+        "tps",
+        "p50(s)",
+        "p99(s)",
+        "val%",
+        "apply%",
+        "exec%",
+        "coal",
+        "applies"
     );
     for row in &report.clusters {
         println!(
-            "{:<24} {:<10} {:>12.0} {:>12.6} {:>12.6} {:>8.1}% {:>8.1}% {:>8.1}%",
+            "{:<24} {:<10} {:>12.0} {:>12.6} {:>12.6} {:>8.1}% {:>8.1}% {:>8.1}% {:>7} {:>7}",
             row.scenario,
             row.workload,
             row.throughput_tps,
@@ -65,6 +84,8 @@ fn main() {
             row.pipeline.validate_share * 100.0,
             row.pipeline.apply_share * 100.0,
             row.pipeline.execute_share * 100.0,
+            row.pipeline.coalesced_batches,
+            row.pipeline.apply_calls,
         );
     }
     println!("\nwrote {out_path} (schema v{})", report.schema_version);

@@ -27,7 +27,39 @@ use tb_workload::{
 /// contract and hot-key KV workloads.
 /// v3: the report carries a `campaigns` table — the chaos campaign's
 /// per-scenario pass/fail + loss metrics rows.
-pub const BENCH_REPORT_SCHEMA_VERSION: u32 = 3;
+/// v4: `pipeline` rows carry `apply_calls`, and per-stage occupancy
+/// regression thresholds ([`MAX_VALIDATE_SHARE`], [`MAX_APPLY_SHARE`],
+/// coalescing liveness) are enforced by [`BenchReport::validate`].
+pub const BENCH_REPORT_SCHEMA_VERSION: u32 = 4;
+
+/// Regression ceiling on `validate_share` for every non-Tusk cluster
+/// scenario: validation must never again become the wall the way the PR 2–4
+/// baselines recorded (ROADMAP item 2 measured up to 0.88 on cross-shard
+/// runs before the parallel fan-out landed).
+pub const MAX_VALIDATE_SHARE: f64 = 0.60;
+
+/// Regression ceiling on `apply_share` for every non-Tusk cluster scenario.
+/// Storage apply is stripe-coalesced and cheap today; if a future storage
+/// backend pushes its share past this, the pipeline needs rebalancing, not
+/// silence. The cross-shard `execute` stage has no ceiling — its share is
+/// workload-determined (the Tusk baseline is 100% execute by construction),
+/// see `docs/PIPELINE.md`.
+pub const MAX_APPLY_SHARE: f64 = 0.60;
+
+/// A per-scenario share or counter below this value "rounds to zero" for
+/// [`BenchReport::silent_zero_counters`]: three decimals of a share, or a
+/// plain zero for integer counters.
+const SILENT_ZERO_EPSILON: f64 = 5e-4;
+
+/// Minimum measured stage time (validate + apply + execute, in seconds)
+/// before the share ceilings are enforced on a scenario. Stage shares are
+/// ratios of wall-clock measurements; a tiny run on a loaded machine can
+/// measure a few milliseconds total, where a single preemption swings a
+/// share by half. Below this floor the ceilings would gate on noise, so
+/// they are skipped — the coalescing check is deterministic and is always
+/// enforced. The committed quick-scale baseline measures hundreds of
+/// milliseconds per scenario, far above the floor.
+pub const MIN_OCCUPANCY_MEASURED_S: f64 = 0.05;
 
 /// Fixed seed for every benchmark in the report, so two reports from the
 /// same tree are comparable run over run.
@@ -84,6 +116,10 @@ pub struct StageOccupancy {
     /// Write batches the pipelined applier coalesced with at least one
     /// other batch.
     pub coalesced_batches: u64,
+    /// Storage apply calls the commit path performed (one per applier drain
+    /// when pipelined; fewer calls than valid blocks means batches were
+    /// coalesced). Schema v4.
+    pub apply_calls: u64,
 }
 
 /// One cluster scenario: a full multi-replica simulation under a fixed seed.
@@ -189,7 +225,78 @@ impl BenchReport {
                 return Err(format!("missing cluster scenario for workload {workload}"));
             }
         }
+        self.validate_stage_occupancy()?;
         validate_campaigns(&self.campaigns)
+    }
+
+    /// Per-stage occupancy regression thresholds (schema v4): on every
+    /// pipelined (non-Tusk) scenario, validation and apply must each stay at
+    /// or below their share ceilings and the applier must have actually
+    /// coalesced batches at least once. A report violating these is the
+    /// exact regression shape ROADMAP item 2 diagnosed — a stage quietly
+    /// becoming the wall, or the coalescing machinery going dead — so it
+    /// fails validation (and with it the `perf-smoke` CI job) instead of
+    /// shipping as a baseline.
+    fn validate_stage_occupancy(&self) -> Result<(), String> {
+        for row in self.clusters.iter().filter(|c| c.mode != "Tusk") {
+            let measured = row.pipeline.validate_busy_s
+                + row.pipeline.apply_busy_s
+                + row.pipeline.execute_busy_s;
+            if measured >= MIN_OCCUPANCY_MEASURED_S {
+                if row.pipeline.validate_share > MAX_VALIDATE_SHARE {
+                    return Err(format!(
+                        "scenario {}: validate_share {:.3} exceeds the {MAX_VALIDATE_SHARE} ceiling",
+                        row.scenario, row.pipeline.validate_share
+                    ));
+                }
+                if row.pipeline.apply_share > MAX_APPLY_SHARE {
+                    return Err(format!(
+                        "scenario {}: apply_share {:.3} exceeds the {MAX_APPLY_SHARE} ceiling",
+                        row.scenario, row.pipeline.apply_share
+                    ));
+                }
+            }
+            if row.pipeline.coalesced_batches == 0 {
+                return Err(format!(
+                    "scenario {}: coalesced_batches is 0 — the pipelined applier never \
+                     drained two batches together (the ROADMAP item 2 pathology)",
+                    row.scenario
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Names of pipeline counter fields that round to zero across *every*
+    /// cluster scenario — the silent-zero pathology class: a counter that is
+    /// uniformly ≈0 usually means the machinery behind it went dead (the way
+    /// `coalesced_batches: 0` shipped unnoticed in three consecutive
+    /// baselines), not that the workloads all happen to avoid it. The
+    /// `bench_report` binary warns on stderr for each returned name.
+    pub fn silent_zero_counters(&self) -> Vec<&'static str> {
+        type Probe = fn(&ClusterBench) -> f64;
+        // `apply_share` is deliberately not probed: a MemStore drain is
+        // microseconds against milliseconds of validation/execution, so its
+        // share legitimately rounds to zero on every healthy run — the
+        // applier's liveness is what `coalesced_batches` and `apply_calls`
+        // probe. A warning that fires on every green baseline trains people
+        // to ignore warnings.
+        let probes: [(&'static str, Probe); 4] = [
+            ("pipeline.validate_share", |c| c.pipeline.validate_share),
+            ("pipeline.execute_share", |c| c.pipeline.execute_share),
+            ("pipeline.coalesced_batches", |c| {
+                c.pipeline.coalesced_batches as f64
+            }),
+            ("pipeline.apply_calls", |c| c.pipeline.apply_calls as f64),
+        ];
+        probes
+            .iter()
+            .filter(|(_, probe)| {
+                !self.clusters.is_empty()
+                    && self.clusters.iter().all(|c| probe(c) < SILENT_ZERO_EPSILON)
+            })
+            .map(|(name, _)| *name)
+            .collect()
     }
 
     /// Per-key throughput ratios `self / baseline` over the rows both
@@ -423,6 +530,7 @@ fn run_cluster_bench(
             apply_share,
             execute_share,
             coalesced_batches: report.coalesced_batches,
+            apply_calls: report.apply_calls,
         },
     }
 }
@@ -543,7 +651,30 @@ mod tests {
         assert!(workloads.contains(&"contract"));
         assert!(workloads.contains(&"kv-hot"));
         assert_eq!(report.schema_version, BENCH_REPORT_SCHEMA_VERSION);
-        assert_eq!(report.schema_version, 3);
+        assert_eq!(report.schema_version, 4);
+
+        // Schema v4 stage-occupancy gates hold on the generated report: no
+        // pipelined scenario has a dead applier. (The share ceilings are
+        // validated too — validate() enforces them on every row whose
+        // measured stage time clears MIN_OCCUPANCY_MEASURED_S; a tiny run's
+        // milliseconds-long measurements are exempt by design, so the test
+        // does not re-assert raw shares here.)
+        for row in report.clusters.iter().filter(|c| c.mode != "Tusk") {
+            assert!(
+                row.pipeline.coalesced_batches > 0,
+                "{}: applier never coalesced",
+                row.scenario
+            );
+            assert!(row.pipeline.apply_calls > 0);
+        }
+        // ... and the silent-zero probe does not flag the live counters.
+        let dead = report.silent_zero_counters();
+        assert!(
+            !dead.contains(&"pipeline.coalesced_batches"),
+            "coalesced_batches rounds to zero across all scenarios again"
+        );
+        assert!(!dead.contains(&"pipeline.validate_share"));
+        assert!(!dead.contains(&"pipeline.apply_calls"));
         assert!(
             report.campaigns.len() >= 6,
             "chaos campaign must cover at least 6 adversarial scenarios, got {}",
@@ -575,6 +706,40 @@ mod tests {
             .failures
             .push("synthetic failure".to_string());
         assert!(broken.validate().is_err(), "a failed scenario must reject");
+        // The share ceilings only arm once a row has enough measured stage
+        // time (MIN_OCCUPANCY_MEASURED_S), so the broken variants clear the
+        // floor explicitly — a tiny run's rows measure in milliseconds.
+        let mut broken = report.clone();
+        broken.clusters[0].pipeline.validate_busy_s = 1.0;
+        broken.clusters[0].pipeline.validate_share = 0.95;
+        assert!(
+            broken.validate().is_err(),
+            "validate_share past the ceiling"
+        );
+        let mut broken = report.clone();
+        broken.clusters[0].pipeline.apply_busy_s = 1.0;
+        broken.clusters[0].pipeline.apply_share = 0.75;
+        assert!(broken.validate().is_err(), "apply_share past the ceiling");
+        let mut broken = report.clone();
+        broken.clusters[0].pipeline.validate_busy_s = 0.0;
+        broken.clusters[0].pipeline.apply_busy_s = 0.0;
+        broken.clusters[0].pipeline.execute_busy_s = 0.0;
+        broken.clusters[0].pipeline.validate_share = 0.95;
+        assert!(
+            broken.validate().is_ok(),
+            "share ceilings must stay disarmed below the measured-time floor"
+        );
+        let mut broken = report.clone();
+        for row in broken.clusters.iter_mut() {
+            row.pipeline.coalesced_batches = 0;
+        }
+        assert!(broken.validate().is_err(), "dead applier must reject");
+        assert!(
+            broken
+                .silent_zero_counters()
+                .contains(&"pipeline.coalesced_batches"),
+            "the silent-zero probe must flag an all-zero counter"
+        );
 
         // Self-ratios are exactly 1 on every shared row.
         let ratios = report.throughput_ratios(&report);

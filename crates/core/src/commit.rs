@@ -16,7 +16,7 @@
 //!    ones run in waves.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 use tb_contracts::{execute_call, StateAccess, TrackingState};
 use tb_dag::CommittedSubDag;
@@ -37,13 +37,18 @@ pub enum PostCommitExecution {
         workers: usize,
     },
     /// Thunderbolt with the staged commit pipeline: the validation worker
-    /// pool re-executes block N+1 while block N's write batch is drained to
-    /// storage by a dedicated applier that coalesces queued batches
-    /// stripe-by-stripe ([`MemStore::apply_many`]). Commit order, applied
-    /// state and commit statistics are identical to [`Parallel`]; only the
-    /// wall-clock overlap differs.
+    /// pool re-executes block N+1 while earlier blocks' write batches sit in
+    /// a bounded queue drained by a dedicated applier thread, which
+    /// coalesces everything queued into one stripe-coalesced
+    /// [`MemStore::apply_many`] call per wake-up. Commit order, applied
+    /// state, the commit-order digest and all commit statistics except the
+    /// stage timings, `coalesced_batches` and `apply_calls` are identical to
+    /// [`Parallel`] (and to [`Serial`]); only the wall-clock overlap and the
+    /// apply granularity differ. Pinned by
+    /// `crates/core/tests/pipeline_determinism.rs`.
     ///
     /// [`Parallel`]: PostCommitExecution::Parallel
+    /// [`Serial`]: PostCommitExecution::Serial
     Pipelined {
         /// Number of validator / executor workers.
         workers: usize,
@@ -85,8 +90,15 @@ pub struct CommitOutput {
     pub stage_execute: Duration,
     /// Number of write batches the applier drained in one
     /// [`MemStore::apply_many`] call together with at least one other batch
-    /// (a measure of how often the pipeline actually coalesced).
+    /// (a measure of how often the pipeline actually coalesced). Always 0 on
+    /// the staged and serial paths, which apply one batch at a time.
     pub coalesced_batches: u64,
+    /// Number of storage apply calls the commit path performed: one
+    /// [`MemStore::apply_batch`] per valid block on the staged/serial paths,
+    /// one [`MemStore::apply_many`] drain per applier wake-up on the
+    /// pipelined path. `apply_calls` strictly below the number of valid
+    /// blocks is direct evidence that batches were coalesced.
+    pub apply_calls: u64,
     /// Per-transaction commit latencies in seconds of simulated time,
     /// parallel to `committed`.
     pub latency_samples_secs: Vec<f64>,
@@ -139,6 +151,22 @@ impl CommitPipeline {
 
     /// Processes one delivered sub-DAG against `store`, applying effects and
     /// returning the commit statistics.
+    ///
+    /// # Determinism
+    ///
+    /// For a given `(sub_dag, store, commit_time)` the committed transaction
+    /// sequence, the applied state and every commit counter except the
+    /// wall-clock stage timings, `coalesced_batches` and `apply_calls` are
+    /// identical across all three [`PostCommitExecution`] modes and any
+    /// worker count — the execution mode is a pure wall-clock/granularity
+    /// choice, never a semantic one.
+    ///
+    /// # Panics
+    ///
+    /// Never panics on malformed, tampered or Byzantine block contents —
+    /// those surface as `invalid_blocks`. A panic inside a worker or applier
+    /// thread (a bug, not an input condition) propagates to the caller
+    /// rather than being swallowed.
     pub fn process(
         &self,
         sub_dag: &CommittedSubDag,
@@ -224,6 +252,7 @@ impl CommitPipeline {
             let apply_started = Instant::now();
             store.apply_batch(&batch);
             output.stage_apply += apply_started.elapsed();
+            output.apply_calls += 1;
             for p in ordered {
                 record_commit(output, p.tx.id, p.tx.submitted_at, commit_time);
             }
@@ -232,17 +261,25 @@ impl CommitPipeline {
     }
 
     /// The pipelined G1 path: the calling thread validates block N+1 while a
-    /// dedicated applier thread drains block N's (and earlier blocks') write
-    /// batches to storage, coalescing whatever has queued up into one
-    /// [`MemStore::apply_many`] call.
+    /// dedicated applier thread drains validated write batches to storage,
+    /// coalescing everything that queued up into one
+    /// [`MemStore::apply_many`] call per wake-up (see [`ApplyQueue`]).
     ///
     /// Validation of block N+1 must observe block N's writes (consecutive
     /// blocks from the same shard proposer chain on each other), so the
     /// validator keeps the union of all sent-but-possibly-unapplied write
     /// batches as an overlay and reads through it. A key present in the
     /// overlay never reaches the store from the validation read path, which
-    /// is what makes the concurrent apply safe: the applier only ever writes
-    /// keys that are in the overlay.
+    /// is what makes the concurrent (and now deliberately deferred) apply
+    /// safe: the applier only ever writes keys that are in the overlay, and
+    /// the overlay always carries the final value and post-apply version of
+    /// every in-flight key.
+    ///
+    /// # Panics
+    ///
+    /// If the applier thread panics (only possible through a panicking
+    /// [`MemStore`] — the queue logic itself never panics), the panic is
+    /// re-raised here when the scope joins.
     fn commit_preplayed_pipelined(
         &self,
         blocks: &[&[PreplayedTx]],
@@ -250,28 +287,10 @@ impl CommitPipeline {
         commit_time: SimTime,
         output: &mut CommitOutput,
     ) {
-        let (batch_tx, batch_rx) = mpsc::channel::<WriteBatch>();
+        let queue = ApplyQueue::new();
         let mut overlay: HashMap<Key, Versioned> = HashMap::new();
-        let (apply_busy, coalesced) = std::thread::scope(|scope| {
-            let applier = scope.spawn(move || {
-                let mut busy = Duration::ZERO;
-                let mut coalesced = 0u64;
-                let mut pending: Vec<WriteBatch> = Vec::new();
-                while let Ok(first) = batch_rx.recv() {
-                    pending.push(first);
-                    while let Ok(more) = batch_rx.try_recv() {
-                        pending.push(more);
-                    }
-                    let apply_started = Instant::now();
-                    store.apply_many(pending.iter());
-                    busy += apply_started.elapsed();
-                    if pending.len() > 1 {
-                        coalesced += pending.len() as u64;
-                    }
-                    pending.clear();
-                }
-                (busy, coalesced)
-            });
+        let stats = std::thread::scope(|scope| {
+            let applier = scope.spawn(|| queue.drain_loop(store));
 
             for block in blocks {
                 let validate_started = Instant::now();
@@ -304,19 +323,18 @@ impl CommitPipeline {
                         }
                     }
                 }
-                batch_tx
-                    .send(batch)
-                    .expect("applier outlives the validator");
+                queue.push(batch);
                 for p in ordered {
                     record_commit(output, p.tx.id, p.tx.submitted_at, commit_time);
                 }
                 output.single_shard_committed += block.len();
             }
-            drop(batch_tx);
+            queue.close();
             applier.join().expect("applier thread never panics")
         });
-        output.stage_apply += apply_busy;
-        output.coalesced_batches += coalesced;
+        output.stage_apply += stats.busy;
+        output.coalesced_batches += stats.coalesced;
+        output.apply_calls += stats.calls;
     }
 
     /// Executes a single transaction directly against the store (the OE
@@ -348,6 +366,119 @@ fn ordered_write_batch(block: &[PreplayedTx]) -> (WriteBatch, Vec<&PreplayedTx>)
         batch.extend_from_write_set(&p.outcome.write_set);
     }
     (batch, ordered)
+}
+
+/// Maximum number of validated-but-unapplied write batches the pipelined
+/// path buffers before the validator blocks (backpressure): the queue bounds
+/// the memory held in flight and the distance the validator can run ahead of
+/// storage.
+const APPLY_QUEUE_CAPACITY: usize = 8;
+
+/// Number of queued batches the applier waits for before draining. The old
+/// one-batch mpsc handoff woke the applier per batch; because a `MemStore`
+/// apply is far cheaper than validating the next block, the applier always
+/// kept up and [`MemStore::apply_many`] never saw more than one batch — the
+/// `coalesced_batches: 0` pathology pinned by
+/// `crates/core/tests/coalescing_regression.rs`. Waiting for a second batch
+/// (or queue close, whichever comes first) makes every drain a real
+/// multi-batch coalesce whenever the sub-DAG has two or more valid blocks,
+/// deterministically on any scheduler — including a single hardware thread.
+const COALESCE_TARGET: usize = 2;
+
+/// What the applier thread measured while draining its queue.
+#[derive(Default)]
+struct ApplierStats {
+    /// Wall-clock time spent inside [`MemStore::apply_many`].
+    busy: Duration,
+    /// Batches drained together with at least one other batch.
+    coalesced: u64,
+    /// Number of [`MemStore::apply_many`] drains.
+    calls: u64,
+}
+
+/// Bounded drain-on-wake handoff between the pipelined validator and its
+/// applier thread (the Bε-tree idea of buffering updates and applying them
+/// in batches, applied to the commit path).
+///
+/// The validator [`push`es](ApplyQueue::push) one write batch per validated
+/// block and blocks only when [`APPLY_QUEUE_CAPACITY`] batches are in
+/// flight. The applier sleeps until [`COALESCE_TARGET`] batches are queued
+/// (or the queue is closed), then drains *everything* queued into a single
+/// [`MemStore::apply_many`] call. Batches are drained in push order, so the
+/// per-key write order of [`ordered_write_batch`] is preserved end to end.
+struct ApplyQueue {
+    state: Mutex<ApplyQueueState>,
+    /// Signalled by the applier when capacity frees up.
+    space: Condvar,
+    /// Signalled by the validator when a drain is worth waking up for.
+    ready: Condvar,
+}
+
+struct ApplyQueueState {
+    batches: Vec<WriteBatch>,
+    closed: bool,
+}
+
+impl ApplyQueue {
+    fn new() -> Self {
+        ApplyQueue {
+            state: Mutex::new(ApplyQueueState {
+                batches: Vec::new(),
+                closed: false,
+            }),
+            space: Condvar::new(),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues one validated batch, blocking while the queue is full. Wakes
+    /// the applier once at least [`COALESCE_TARGET`] batches are queued.
+    fn push(&self, batch: WriteBatch) {
+        let mut state = self.state.lock().expect("apply queue lock poisoned");
+        while state.batches.len() >= APPLY_QUEUE_CAPACITY {
+            state = self.space.wait(state).expect("apply queue lock poisoned");
+        }
+        state.batches.push(batch);
+        if state.batches.len() >= COALESCE_TARGET {
+            self.ready.notify_one();
+        }
+    }
+
+    /// Marks the producer side finished; the applier flushes whatever is
+    /// still queued (possibly a single batch) and exits.
+    fn close(&self) {
+        let mut state = self.state.lock().expect("apply queue lock poisoned");
+        state.closed = true;
+        self.ready.notify_one();
+    }
+
+    /// The applier thread body: sleep until a drain is due, swap the whole
+    /// queue out under the lock, apply it outside the lock, repeat until the
+    /// queue is closed and empty.
+    fn drain_loop(&self, store: &MemStore) -> ApplierStats {
+        let mut stats = ApplierStats::default();
+        loop {
+            let drained = {
+                let mut state = self.state.lock().expect("apply queue lock poisoned");
+                while !state.closed && state.batches.len() < COALESCE_TARGET {
+                    state = self.ready.wait(state).expect("apply queue lock poisoned");
+                }
+                if state.batches.is_empty() {
+                    debug_assert!(state.closed, "woke with an empty, open queue");
+                    return stats;
+                }
+                std::mem::take(&mut state.batches)
+            };
+            self.space.notify_all();
+            let apply_started = Instant::now();
+            store.apply_many(drained.iter());
+            stats.busy += apply_started.elapsed();
+            stats.calls += 1;
+            if drained.len() > 1 {
+                stats.coalesced += drained.len() as u64;
+            }
+        }
+    }
 }
 
 /// Committed storage plus the write batches the pipelined committer has

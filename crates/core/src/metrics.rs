@@ -139,6 +139,11 @@ pub struct RunReport {
     /// Write batches the pipelined applier drained together with at least
     /// one other batch (0 on the strictly staged and serial paths).
     pub coalesced_batches: u64,
+    /// Storage apply calls the observer's commit path performed: one per
+    /// valid block on the staged/serial paths, one per applier drain on the
+    /// pipelined path. `apply_calls < single-shard blocks` is direct
+    /// evidence of coalescing (see `docs/PIPELINE.md`).
+    pub apply_calls: u64,
     /// FNV-1a digest over the committed transaction ids in commit order,
     /// as a 16-hex-digit string (a string so JSON consumers never round it
     /// to a 53-bit double). Two runs that committed the same transactions

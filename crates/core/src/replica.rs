@@ -106,6 +106,9 @@ pub struct ReplicaMetrics {
     /// Write batches drained together with at least one other batch by the
     /// pipelined applier.
     pub coalesced_batches: u64,
+    /// Storage apply calls performed by the commit path (one per valid block
+    /// when staged, one per applier drain when pipelined).
+    pub apply_calls: u64,
     /// FNV-1a digest over committed transaction ids in commit order.
     pub commit_order_digest: u64,
     /// Per-leader-round commit times.
@@ -127,6 +130,7 @@ impl Default for ReplicaMetrics {
             apply_busy: Duration::ZERO,
             execute_busy: Duration::ZERO,
             coalesced_batches: 0,
+            apply_calls: 0,
             commit_order_digest: COMMIT_DIGEST_SEED,
             round_commits: Vec::new(),
         }
@@ -299,6 +303,7 @@ impl Replica {
             apply_busy_secs: self.metrics.apply_busy.as_secs_f64(),
             execute_busy_secs: self.metrics.execute_busy.as_secs_f64(),
             coalesced_batches: self.metrics.coalesced_batches,
+            apply_calls: self.metrics.apply_calls,
             commit_order_digest: format!("{:016x}", self.metrics.commit_order_digest),
             round_commits: self.metrics.round_commits.clone(),
             highest_round: self.dag.highest_round(),
@@ -784,6 +789,7 @@ impl Replica {
             self.metrics.apply_busy += output.stage_apply;
             self.metrics.execute_busy += output.stage_execute;
             self.metrics.coalesced_batches += output.coalesced_batches;
+            self.metrics.apply_calls += output.apply_calls;
             for latency in &output.latency_samples_secs {
                 self.metrics.latency_hist.record_secs(*latency);
             }

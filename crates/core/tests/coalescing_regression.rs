@@ -1,29 +1,28 @@
-//! Regression anchor for the `coalesced_batches: 0` pathology (ROADMAP
-//! item 2).
+//! Regression gate for the `coalesced_batches: 0` pathology (the closed
+//! ROADMAP item 2).
 //!
 //! The pipelined commit path's applier thread drains every write batch that
-//! queued up while it was busy into a single [`MemStore::apply_many`] call,
-//! and `CommitOutput::coalesced_batches` counts how many batches were
-//! drained together with at least one other. Every committed
-//! `BENCH_report.json` so far records `coalesced_batches: 0` on every
-//! scenario: storage apply is so much faster than validation that the
-//! applier never falls behind, so the coalescing machinery is dead weight on
-//! the measured configurations.
+//! queued up into a single [`MemStore::apply_many`] call, and
+//! `CommitOutput::coalesced_batches` counts how many batches were drained
+//! together with at least one other. Three consecutive committed
+//! `BENCH_report.json` baselines recorded `coalesced_batches: 0` on every
+//! scenario: the old one-batch mpsc handoff woke the applier per batch, and
+//! because a `MemStore` apply is far cheaper than validating the next
+//! block, the applier never fell behind — the coalescing machinery was dead
+//! weight on every measured configuration.
 //!
-//! This file pins that situation from both sides:
+//! The bounded drain-on-wake `ApplyQueue` fixed this: the applier now waits
+//! until a second batch is queued (or the queue closes) before draining, so
+//! every sub-DAG with two or more valid blocks coalesces *deterministically*
+//! on any scheduler, including a single hardware thread. This file pins the
+//! fix from both sides:
 //!
-//! * a green test proving the accounting is exclusive to the pipelined
-//!   applier and that a backlog, when it does occur, is *correct* (the
-//!   pipelined result matches the staged path exactly, coalesced or not);
-//! * an `#[ignore]`d red anchor asserting that a deliberately backlogged
-//!   pipelined commit actually coalesces. It stays ignored because whether
-//!   the applier falls behind depends on OS scheduling (on a single
-//!   hardware thread the applier can only run when the validator is
-//!   preempted); run it with `cargo test -p tb-core --test
-//!   coalescing_regression -- --ignored` when working on ROADMAP item 2.
-//!   The day the pipeline reliably produces overlap (e.g. an apply cost
-//!   model, or batch-size-aware draining), promote it to a normal test and
-//!   drop this note.
+//! * the accounting stays exclusive to the pipelined applier (the staged
+//!   path never reports coalescing) and a deep backlog commits identically
+//!   on both paths;
+//! * the formerly-`#[ignore]`d red anchor — a backlogged pipelined commit
+//!   must actually coalesce — is now a hard CI gate. If it ever goes red
+//!   again, the drain policy regressed to one-batch handoffs.
 
 use tb_core::commit::{CommitPipeline, PostCommitExecution};
 use tb_dag::{CommittedSubDag, DagBuilder};
@@ -115,10 +114,20 @@ fn coalescing_accounting_is_pipelined_only_and_backlogs_stay_correct() {
     );
     assert_eq!(staged_out.invalid_blocks, 0);
 
+    // The staged path applies one batch per valid block.
+    assert_eq!(staged_out.apply_calls, 40);
+
     let pipelined_store = funded_store(16);
     let pipelined = CommitPipeline::new(PostCommitExecution::Pipelined { workers: 2 });
     let pipelined_out = pipelined.process(&sub_dag, &pipelined_store, SimTime::from_secs(1));
     assert_eq!(pipelined_out.invalid_blocks, 0);
+    // The pipelined applier drains at least two batches per wake-up, so it
+    // needs strictly fewer apply calls than there are blocks.
+    assert!(
+        pipelined_out.apply_calls < 40,
+        "pipelined path made {} apply calls for 40 blocks — no coalescing",
+        pipelined_out.apply_calls
+    );
 
     // Identical commit sequence and state regardless of coalescing.
     assert_eq!(staged_out.committed, pipelined_out.committed);
@@ -132,15 +141,13 @@ fn coalescing_accounting_is_pipelined_only_and_backlogs_stay_correct() {
     assert!(diff.is_empty(), "state divergence on {diff:?}");
 }
 
-/// Red anchor for ROADMAP item 2: a pipelined commit of 160 chained blocks
-/// should leave the applier behind the validator at least once, making
-/// `coalesced_batches > 0`. On the benchmark configurations it never does —
-/// `BENCH_report.json` pins `coalesced_batches: 0` on every scenario — and
-/// even this engineered backlog only coalesces when the OS preempts the
-/// validator, so the assertion is documentation, not CI. See the module
-/// docs for when to promote it.
+/// The promoted red anchor of ROADMAP item 2, now a hard gate: a pipelined
+/// commit of 160 chained blocks must coalesce. With the drain-on-wake
+/// `ApplyQueue` the applier waits for a second batch before draining, so
+/// this holds deterministically on any scheduler — `#[ignore]` removed the
+/// day the drain policy made coalescing a property of the design instead of
+/// an accident of preemption.
 #[test]
-#[ignore = "documents the coalesced_batches:0 pathology (ROADMAP item 2); scheduling-dependent"]
 fn backlogged_pipelined_commit_actually_coalesces() {
     let sub_dag = backlogged_sub_dag(16, 160, 4);
     let store = funded_store(16);
@@ -149,8 +156,15 @@ fn backlogged_pipelined_commit_actually_coalesces() {
     assert_eq!(output.invalid_blocks, 0);
     assert!(
         output.coalesced_batches > 0,
-        "160 back-to-back blocks never backlogged the applier: the \
-         coalescing machinery in commit_preplayed_pipelined is dead code \
-         on this machine (the coalesced_batches:0 pathology)"
+        "160 back-to-back blocks never coalesced: the drain policy in \
+         commit_preplayed_pipelined regressed to one-batch handoffs \
+         (the coalesced_batches:0 pathology)"
+    );
+    // 160 blocks drained at >= 2 batches per wake-up (plus at most one
+    // single-batch flush at close) bounds the apply calls at 81.
+    assert!(
+        output.apply_calls <= 81,
+        "{} apply calls for 160 blocks",
+        output.apply_calls
     );
 }

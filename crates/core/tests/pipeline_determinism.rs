@@ -123,6 +123,57 @@ fn pipelined_commit_beats_the_sequential_path_on_twenty_blocks() {
     }
 }
 
+/// All three post-commit execution paths — pipelined/parallel and
+/// staged/serial — must commit byte-identical sequences: the FNV-1a fold
+/// over the committed transaction ids (the same digest replicas and
+/// `BENCH_report.json` carry) is pinned equal across every mode and worker
+/// count, for honest and tampered inputs alike.
+#[test]
+fn all_commit_paths_agree_on_the_fnv1a_commit_digest() {
+    let fnv = |committed: &[(tb_types::TxId, SimTime)]| -> u64 {
+        committed
+            .iter()
+            .fold(tb_core::replica::COMMIT_DIGEST_SEED, |digest, (id, _)| {
+                (digest ^ id.as_inner()).wrapping_mul(0x0100_0000_01b3)
+            })
+    };
+    let mut blocks = seeded_blocks(8, 40, 0);
+    // One tampered block: the digest agreement must also hold when the
+    // paths discard a block (its transactions never enter the fold).
+    blocks[3][0].outcome.write_set[0].value = tb_types::Value::int(999_999);
+    let sub_dag = sub_dag_of(&blocks);
+    let workload = seeded_workload(64, 7);
+
+    let run = |execution: PostCommitExecution| {
+        let store = funded_store(&workload);
+        let pipeline = CommitPipeline::new(execution);
+        let output = pipeline.process(&sub_dag, &store, SimTime::from_secs(1));
+        (
+            fnv(&output.committed),
+            output.invalid_blocks,
+            store.snapshot(),
+        )
+    };
+
+    let (serial_digest, serial_invalid, serial_state) = run(PostCommitExecution::Serial);
+    assert!(serial_invalid >= 1, "the tampered block must be discarded");
+    for execution in [
+        PostCommitExecution::Parallel { workers: 2 },
+        PostCommitExecution::Parallel { workers: 8 },
+        PostCommitExecution::Pipelined { workers: 2 },
+        PostCommitExecution::Pipelined { workers: 8 },
+    ] {
+        let (digest, invalid, state) = run(execution);
+        assert_eq!(invalid, serial_invalid, "{execution:?} discard divergence");
+        assert_eq!(
+            digest, serial_digest,
+            "{execution:?} committed a different order than Serial"
+        );
+        let diff = state.diff_values(&serial_state);
+        assert!(diff.is_empty(), "{execution:?} state diverged on {diff:?}");
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Deterministic cluster comparison: pipelined vs strictly staged replicas
 // must commit the same sequence and end in the same state.

@@ -8,9 +8,26 @@
 //! that). A block is valid iff every transaction's re-executed read set,
 //! write set and result match what the block declares. Invalid blocks are
 //! discarded.
+//!
+//! # Two-stage structure
+//!
+//! [`validate_block`] is split into a **stateless parallel stage** and a
+//! **cheap sequential finalize** (the same shape oskr uses to verify
+//! messages in parallel):
+//!
+//! 1. *Fan-out.* Each transaction's re-execution depends only on the block's
+//!    immutable write timeline (the per-key index of declared writes,
+//!    ordered by block position) and committed storage, never on another
+//!    worker's progress, so the per-transaction checks are embarrassingly
+//!    parallel. The block is chunked across at most
+//!    [`effective_workers`](crate::traits::effective_workers)`(validators)`
+//!    scoped threads; each worker returns the verdicts of its chunk.
+//! 2. *Finalize.* The verdict vectors are joined back **in chunk order** on
+//!    the calling thread and folded into the [`ValidationReport`].
+//!
+//! See `docs/PIPELINE.md` for how this stage slots into the commit pipeline.
 
 use crate::traits::synthetic_work;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use tb_contracts::{execute_call, ExecError, StateAccess, TrackingState};
 use tb_storage::KvRead;
@@ -135,6 +152,32 @@ impl StateAccess for ValidationSession<'_> {
 /// Validates the single-shard payload of a block: re-executes every
 /// transaction in parallel against the declared dependency structure and
 /// checks that read sets, write sets and results match the declaration.
+///
+/// # Parallelism contract
+///
+/// The fan-out uses at most `effective_workers(config.validators)` scoped
+/// worker threads (clamped to the block size); with one effective worker —
+/// a single-core machine, or `validators: 1` — no thread is spawned and the
+/// whole pass runs inline on the caller, so single-core CI measures exactly
+/// the sequential cost.
+///
+/// # Determinism
+///
+/// The report is a pure function of `(preplayed, base, config)` — it does
+/// not depend on the worker count, chunk boundaries or thread scheduling.
+/// Per-chunk verdicts are joined in chunk order and `mismatches` is sorted
+/// by [`TxId`], so two calls with different `validators` values return
+/// byte-identical reports (pinned by a proptest in
+/// `tests/proptest_invariants.rs`).
+///
+/// # Panics
+///
+/// Worker threads never panic on malformed or Byzantine block contents —
+/// interpreter failures are verdicts (`Err` from [`execute_call`] marks the
+/// transaction as a mismatch), not panics. If a worker does panic (a bug in
+/// the contract interpreter, or a panicking [`KvRead`] implementation), the
+/// panic is propagated to the caller when the scope joins; it is never
+/// swallowed.
 pub fn validate_block(
     preplayed: &[PreplayedTx],
     base: &(dyn KvRead + Sync),
@@ -144,26 +187,60 @@ pub fn validate_block(
         return ValidationReport::default();
     }
     let timeline = WriteTimeline::build(preplayed);
-    let mismatches: Mutex<Vec<TxId>> = Mutex::new(Vec::new());
+    let verdicts = parallel_verdicts(preplayed, base, &timeline, config);
+    finalize_verdicts(preplayed, &verdicts)
+}
+
+/// Stage 1 — the stateless fan-out: re-executes every transaction against
+/// the shared [`WriteTimeline`] and returns one verdict per transaction, in
+/// block order. Workers share only immutable state, so no synchronisation
+/// is needed beyond the final join.
+fn parallel_verdicts(
+    preplayed: &[PreplayedTx],
+    base: &(dyn KvRead + Sync),
+    timeline: &WriteTimeline,
+    config: &ValidationConfig,
+) -> Vec<bool> {
     let workers = crate::traits::effective_workers(config.validators).min(preplayed.len());
-    let chunk_size = preplayed.len().div_ceil(workers);
     let op_cost = config.op_cost_ns;
-
+    if workers <= 1 {
+        return preplayed
+            .iter()
+            .map(|p| revalidate_one(p, base, timeline, op_cost))
+            .collect();
+    }
+    let chunk_size = preplayed.len().div_ceil(workers);
     std::thread::scope(|scope| {
-        let timeline = &timeline;
-        let mismatches = &mismatches;
-        for chunk in preplayed.chunks(chunk_size) {
-            scope.spawn(move || {
-                for p in chunk {
-                    if !revalidate_one(p, base, timeline, op_cost) {
-                        mismatches.lock().push(p.tx.id);
-                    }
-                }
-            });
-        }
-    });
+        let handles: Vec<_> = preplayed
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|p| revalidate_one(p, base, timeline, op_cost))
+                        .collect::<Vec<bool>>()
+                })
+            })
+            .collect();
+        // Joining in spawn order keeps the verdict vector in block order no
+        // matter which worker finishes first.
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("validation worker panicked"))
+            .collect()
+    })
+}
 
-    let mut mismatches = mismatches.into_inner();
+/// Stage 2 — the cheap sequential finalize: folds the ordered verdicts into
+/// a [`ValidationReport`], with `mismatches` sorted by [`TxId`].
+fn finalize_verdicts(preplayed: &[PreplayedTx], verdicts: &[bool]) -> ValidationReport {
+    debug_assert_eq!(preplayed.len(), verdicts.len());
+    let mut mismatches: Vec<TxId> = preplayed
+        .iter()
+        .zip(verdicts)
+        .filter(|(_, ok)| !**ok)
+        .map(|(p, _)| p.tx.id)
+        .collect();
     mismatches.sort_unstable();
     ValidationReport {
         checked: preplayed.len(),
@@ -387,6 +464,37 @@ mod tests {
                 &ValidationConfig::new(validators),
             );
             assert!(report.is_valid(), "failed with {validators} validators");
+        }
+    }
+
+    #[test]
+    fn tampered_reports_are_identical_for_every_worker_count() {
+        let store = funded_store(16);
+        let txs = smallbank_batch(16, 80);
+        let ce = ConcurrentExecutor::new(CeConfig::new(4, 512).without_synthetic_cost());
+        let mut result = ce.preplay(&txs, &store);
+        // Tamper several transactions spread across the block so mismatches
+        // land in different worker chunks for every fan-out width.
+        let mut tampered = 0;
+        for p in result.preplayed.iter_mut().step_by(11) {
+            if let Some(rec) = p.outcome.write_set.first_mut() {
+                rec.value = Value::int(-424_242);
+                tampered += 1;
+            }
+        }
+        assert!(tampered >= 3, "need several tampered transactions");
+        let sequential = validate_block(&result.preplayed, &store, &ValidationConfig::new(1));
+        assert!(!sequential.is_valid());
+        for validators in [2, 3, 8, 32] {
+            let parallel = validate_block(
+                &result.preplayed,
+                &store,
+                &ValidationConfig::new(validators),
+            );
+            assert_eq!(
+                sequential, parallel,
+                "verdicts diverged with {validators} validators"
+            );
         }
     }
 }

@@ -139,4 +139,31 @@ proptest! {
         prop_assert_eq!(Value::int(v).as_int(), v);
         prop_assert!(!Value::int(v).is_none());
     }
+
+    /// Parallel block validation is a pure function of the block: for any
+    /// random batch — honest or with randomly tampered declarations — every
+    /// worker count returns the exact same [`ValidationReport`] as the
+    /// sequential (one-worker) pass: same verdict, same mismatch list, in
+    /// the same order.
+    #[test]
+    fn parallel_validation_matches_sequential_verdicts(
+        txs in batch(6, 60),
+        validators in 2usize..24,
+        tamper in prop::collection::vec((0usize..64, any::<i64>()), 0..4),
+    ) {
+        let store = funded_store(6);
+        let ce = ConcurrentExecutor::new(CeConfig::new(4, 128).without_synthetic_cost());
+        let mut result = ce.preplay(&txs, &store);
+        // Tamper a random subset of declared write sets so mismatch paths
+        // (not just all-valid blocks) are exercised.
+        for (index, forged) in &tamper {
+            let p = &mut result.preplayed[index % txs.len()];
+            if let Some(rec) = p.outcome.write_set.first_mut() {
+                rec.value = Value::int(*forged);
+            }
+        }
+        let sequential = validate_block(&result.preplayed, &store, &ValidationConfig::new(1));
+        let parallel = validate_block(&result.preplayed, &store, &ValidationConfig::new(validators));
+        prop_assert_eq!(sequential, parallel);
+    }
 }
