@@ -13,10 +13,17 @@
 //! Exits non-zero if the report fails its structural validation, so CI can
 //! gate on malformed or empty output.
 
-use tb_bench::report::generate;
+use tb_bench::report::{generate, generate_real_net};
 use tb_bench::Scale;
 
 fn main() {
+    // Node-image dispatch MUST come first: the real-net scenarios re-execute
+    // this binary as cluster node processes (TB_NODE_SPEC set), and a child
+    // that fell through here would run the whole benchmark suite recursively.
+    if tb_launcher::maybe_run_node_from_env() {
+        return;
+    }
+
     let scale = Scale::from_env();
     let out_path = std::env::args()
         .nth(1)
@@ -27,7 +34,14 @@ fn main() {
         tb_executor::available_cores()
     );
 
-    let report = generate(scale);
+    let mut report = generate(scale);
+    match generate_real_net(scale) {
+        Ok(rows) => report.real_net = rows,
+        Err(reason) => {
+            eprintln!("bench_report: real-net scenarios failed: {reason}");
+            std::process::exit(1);
+        }
+    }
     if let Err(reason) = report.validate() {
         eprintln!("bench_report: INVALID report: {reason}");
         std::process::exit(1);
@@ -86,6 +100,29 @@ fn main() {
             row.pipeline.execute_share * 100.0,
             row.pipeline.coalesced_batches,
             row.pipeline.apply_calls,
+        );
+    }
+    println!(
+        "\n{:<28} {:<10} {:>12} {:>12} {:>12} {:>12} {:>7} {:>5}",
+        "real-net scenario", "transport", "tps", "p50(s)", "p99(s)", "bytes", "agree", "sim"
+    );
+    for row in &report.real_net {
+        println!(
+            "{:<28} {:<10} {:>12.0} {:>12.6} {:>12.6} {:>12} {:>7} {:>5}",
+            row.scenario,
+            row.transport,
+            row.throughput_tps,
+            row.latency_p50_s,
+            row.latency_p99_s,
+            row.bytes_sent,
+            if row.nodes_agree { "yes" } else { "NO" },
+            if !row.sim_digest_checked {
+                "-"
+            } else if row.sim_digest_match {
+                "yes"
+            } else {
+                "NO"
+            },
         );
     }
     println!("\nwrote {out_path} (schema v{})", report.schema_version);

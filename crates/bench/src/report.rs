@@ -13,9 +13,10 @@
 
 use crate::{Engine, Scale, SystemRun};
 use serde::Serialize;
-use std::time::SystemTime;
+use std::time::{Duration, SystemTime};
 use tb_core::campaign::{default_campaign, run_campaign, CampaignProfile, ScenarioResult};
-use tb_core::ExecutionMode;
+use tb_core::{ExecutionMode, ScenarioBuilder};
+use tb_launcher::{run_real_net_scenario, LaunchOptions};
 use tb_storage::MemStore;
 use tb_types::{CeConfig, SimTime};
 use tb_workload::{
@@ -30,7 +31,11 @@ use tb_workload::{
 /// v4: `pipeline` rows carry `apply_calls`, and per-stage occupancy
 /// regression thresholds ([`MAX_VALIDATE_SHARE`], [`MAX_APPLY_SHARE`],
 /// coalescing liveness) are enforced by [`BenchReport::validate`].
-pub const BENCH_REPORT_SCHEMA_VERSION: u32 = 4;
+/// v5: the report carries a `real_net` table — scenarios executed as N OS
+/// processes over localhost TCP (`tb-launcher`), with message/byte traffic
+/// and digest-agreement verdicts; sim cluster rows gain `msgs_sent` /
+/// `bytes_sent` so the two transports report comparable traffic.
+pub const BENCH_REPORT_SCHEMA_VERSION: u32 = 5;
 
 /// Regression ceiling on `validate_share` for every non-Tusk cluster
 /// scenario: validation must never again become the wall the way the PR 2–4
@@ -157,6 +162,13 @@ pub struct ClusterBench {
     pub latency_p99_s: f64,
     /// Completed reconfigurations.
     pub reconfigurations: u64,
+    /// Messages handed to the simulated network during the run.
+    pub msgs_sent: u64,
+    /// Wire-encoded payload bytes handed to the network (schema v5). The
+    /// same accounting the TCP transport reports — payload only, length
+    /// prefixes and handshakes excluded — so sim and `real_net` rows carry
+    /// comparable traffic numbers.
+    pub bytes_sent: u64,
     /// FNV-1a digest of the committed transaction order as a 16-hex-digit
     /// string (equal digests mean two runs committed identically; expect
     /// digests to differ between independently regenerated reports, see
@@ -164,6 +176,62 @@ pub struct ClusterBench {
     pub commit_order_digest: String,
     /// Commit-pipeline stage occupancy.
     pub pipeline: StageOccupancy,
+}
+
+/// One real-net scenario: the same cluster protocol executed as N OS
+/// processes over localhost TCP by `tb-launcher` (schema v5).
+///
+/// Unlike sim rows, throughput here is transactions per second of
+/// *wall-clock* time, and the digest columns are machine-checked agreement
+/// verdicts: `nodes_agree` compares the per-round commit digests across all
+/// N processes, `sim_digest_match` compares node 0 against an in-process
+/// sim run of the identical scenario (only attempted for lockstep,
+/// fully-single-shard scenarios — see `docs/NET.md`).
+#[derive(Clone, Debug, Serialize)]
+pub struct RealNetBench {
+    /// Scenario name (stable across reports; compare by this key).
+    pub scenario: String,
+    /// System variant label.
+    pub mode: String,
+    /// Stable workload name (always `smallbank` today).
+    pub workload: String,
+    /// Transport label (always `tcp` today; sim rows live in `clusters`).
+    pub transport: String,
+    /// Committee size == number of OS processes.
+    pub replicas: u32,
+    /// Total committed transactions on node 0.
+    pub committed_txs: u64,
+    /// Committed single-shard transactions on node 0.
+    pub single_shard_txs: u64,
+    /// Committed cross-shard transactions on node 0.
+    pub cross_shard_txs: u64,
+    /// Throughput in transactions per second of wall-clock time.
+    pub throughput_tps: f64,
+    /// Average end-to-end commit latency in seconds.
+    pub avg_latency_s: f64,
+    /// Median commit latency in seconds (log2-bucket upper bound).
+    pub latency_p50_s: f64,
+    /// 99th-percentile commit latency in seconds.
+    pub latency_p99_s: f64,
+    /// Messages node 0 handed to the transport.
+    pub msgs_sent: u64,
+    /// Messages delivered to node 0.
+    pub msgs_delivered: u64,
+    /// Wire-encoded payload bytes node 0 sent (same accounting as the sim's
+    /// `bytes_sent`).
+    pub bytes_sent: u64,
+    /// Wire-encoded payload bytes delivered to node 0.
+    pub bytes_delivered: u64,
+    /// Node 0's FNV-1a commit-order digest (16 hex digits).
+    pub commit_order_digest: String,
+    /// All N processes carried identical `(dag, round, digest)` commit
+    /// samples on their common prefix.
+    pub nodes_agree: bool,
+    /// Whether an in-process sim twin ran for comparison.
+    pub sim_digest_checked: bool,
+    /// The sim twin's commit digests prefix-matched node 0's (`false`
+    /// whenever `sim_digest_checked` is).
+    pub sim_digest_match: bool,
 }
 
 /// The full machine-readable report.
@@ -183,6 +251,11 @@ pub struct BenchReport {
     pub engines: Vec<EngineBench>,
     /// Cluster scenario measurements.
     pub clusters: Vec<ClusterBench>,
+    /// Out-of-process cluster measurements over localhost TCP (schema v5,
+    /// see `docs/NET.md`). Empty when the report was generated without
+    /// subprocess spawning (library tests); the `bench_report` binary always
+    /// fills it.
+    pub real_net: Vec<RealNetBench>,
     /// Chaos campaign results: one pass/fail + metrics row per adversarial
     /// scenario (schema v3, see `docs/CHAOS.md`).
     pub campaigns: Vec<ScenarioResult>,
@@ -225,8 +298,50 @@ impl BenchReport {
                 return Err(format!("missing cluster scenario for workload {workload}"));
             }
         }
+        self.validate_real_net()?;
         self.validate_stage_occupancy()?;
         validate_campaigns(&self.campaigns)
+    }
+
+    /// Schema v5 real-net gates. An empty table is allowed (subprocess-free
+    /// generation paths), but every present row must have committed work and
+    /// carry passing digest verdicts — a real-net run whose nodes disagree,
+    /// or whose lockstep run diverged from the sim twin, is a correctness
+    /// failure, not a perf data point.
+    fn validate_real_net(&self) -> Result<(), String> {
+        for row in &self.real_net {
+            if row.committed_txs == 0 {
+                return Err(format!(
+                    "real-net scenario {} committed nothing",
+                    row.scenario
+                ));
+            }
+            if row.throughput_tps <= 0.0 {
+                return Err(format!(
+                    "non-positive throughput for real-net scenario {}",
+                    row.scenario
+                ));
+            }
+            if !row.nodes_agree {
+                return Err(format!(
+                    "real-net scenario {}: nodes disagreed on commit digests",
+                    row.scenario
+                ));
+            }
+            if row.sim_digest_checked && !row.sim_digest_match {
+                return Err(format!(
+                    "real-net scenario {}: TCP run diverged from the sim twin",
+                    row.scenario
+                ));
+            }
+            if row.bytes_sent == 0 {
+                return Err(format!(
+                    "real-net scenario {}: byte accounting is dead",
+                    row.scenario
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Per-stage occupancy regression thresholds (schema v4): on every
@@ -521,6 +636,8 @@ fn run_cluster_bench(
         latency_p50_s: report.latency_p50_secs,
         latency_p99_s: report.latency_p99_secs,
         reconfigurations: report.reconfigurations,
+        msgs_sent: report.msgs_sent,
+        bytes_sent: report.bytes_sent,
         commit_order_digest: report.commit_order_digest,
         pipeline: StageOccupancy {
             validate_busy_s: report.validate_busy_secs,
@@ -614,8 +731,95 @@ pub fn generate_with(scale: Scale, profile: CampaignProfile) -> BenchReport {
         cores: tb_executor::available_cores(),
         engines,
         clusters,
+        real_net: Vec::new(),
         campaigns: run_campaign(default_campaign(profile)),
     }
+}
+
+/// Runs the schema-v5 real-net scenario family: the SmallBank cluster
+/// scenarios executed as N OS processes over localhost TCP.
+///
+/// The calling **binary** must dispatch
+/// [`tb_launcher::maybe_run_node_from_env`] at the very top of `main`: the
+/// launcher re-executes `std::env::current_exe()` as the node image, and
+/// without the dispatch the children would run the whole benchmark suite
+/// recursively. This is why the subprocess-free [`generate`] leaves
+/// `real_net` empty and the `bench_report` binary appends these rows itself.
+pub fn generate_real_net(scale: Scale) -> Result<Vec<RealNetBench>, String> {
+    Ok(vec![
+        // Digest-gated: lockstep + single preplay executor + fully
+        // single-shard makes the commit order a pure function of the client
+        // stream, so the TCP run must match an in-process sim twin exactly.
+        run_real_net_bench("real-net-smallbank-lan-n4", 4, 0.0, true, scale)?,
+        // 20% cross-shard with the scale's executor pool: preplay
+        // serialization order is timing-dependent here, so only cross-node
+        // agreement is checked (every process must still commit the same
+        // order as its peers).
+        run_real_net_bench("real-net-smallbank-cross20-n4", 4, 0.2, false, scale)?,
+    ])
+}
+
+/// Runs one scenario as `replicas` OS processes and flattens node 0's
+/// report plus the agreement verdicts into a [`RealNetBench`] row.
+fn run_real_net_bench(
+    scenario: &str,
+    replicas: u32,
+    cross_shard: f64,
+    digest_gate: bool,
+    scale: Scale,
+) -> Result<RealNetBench, String> {
+    // The sim-digest gate needs deterministic preplay serialization, which
+    // only a single executor worker guarantees (see `docs/NET.md`).
+    let executors = if digest_gate {
+        1
+    } else {
+        scale.system_executors.max(2)
+    };
+    let plan = ScenarioBuilder::new(replicas)
+        .smallbank(SmallBankConfig {
+            accounts: scale.system_accounts,
+            cross_shard_fraction: cross_shard,
+            ..SmallBankConfig::default()
+        })
+        .executors(executors, scale.system_batch)
+        .validators(2)
+        .rounds(scale.system_rounds)
+        .seed(BENCH_SEED)
+        .lockstep()
+        // Real-net rows measure the transport, not synthetic compute; the
+        // synthetic op cost would burn real wall-clock time here.
+        .tune(|system| system.ce = system.ce.without_synthetic_cost())
+        .build_real_net()
+        .map_err(|err| format!("{scenario}: {err}"))?;
+    let options = LaunchOptions {
+        node_deadline: Duration::from_secs(60),
+        check_sim_digest: digest_gate,
+    };
+    let outcome =
+        run_real_net_scenario(&plan, &options).map_err(|err| format!("{scenario}: {err}"))?;
+    let report = &outcome.observer;
+    Ok(RealNetBench {
+        scenario: scenario.to_string(),
+        mode: ExecutionMode::Thunderbolt.label().to_string(),
+        workload: report.workload.clone(),
+        transport: "tcp".to_string(),
+        replicas,
+        committed_txs: report.committed_txs,
+        single_shard_txs: report.single_shard_txs,
+        cross_shard_txs: report.cross_shard_txs,
+        throughput_tps: report.throughput_tps(),
+        avg_latency_s: report.avg_latency_secs(),
+        latency_p50_s: report.latency_p50_secs,
+        latency_p99_s: report.latency_p99_secs,
+        msgs_sent: report.msgs_sent,
+        msgs_delivered: report.msgs_delivered,
+        bytes_sent: report.bytes_sent,
+        bytes_delivered: report.bytes_delivered,
+        commit_order_digest: report.commit_order_digest.clone(),
+        nodes_agree: outcome.nodes_agree,
+        sim_digest_checked: outcome.sim_digest_checked,
+        sim_digest_match: outcome.sim_digest_match,
+    })
 }
 
 #[cfg(test)]
@@ -651,7 +855,10 @@ mod tests {
         assert!(workloads.contains(&"contract"));
         assert!(workloads.contains(&"kv-hot"));
         assert_eq!(report.schema_version, BENCH_REPORT_SCHEMA_VERSION);
-        assert_eq!(report.schema_version, 4);
+        assert_eq!(report.schema_version, 5);
+        // The subprocess-free generation path leaves real_net empty (the
+        // bench_report binary fills it) and still validates.
+        assert!(report.real_net.is_empty());
 
         // Schema v4 stage-occupancy gates hold on the generated report: no
         // pipelined scenario has a dead applier. (The share ceilings are
@@ -740,6 +947,67 @@ mod tests {
                 .contains(&"pipeline.coalesced_batches"),
             "the silent-zero probe must flag an all-zero counter"
         );
+
+        // Schema v5: a well-formed real-net row validates; rows recording a
+        // digest disagreement or dead byte accounting reject the report.
+        let real_net_row = RealNetBench {
+            scenario: "real-net-smallbank-lan-n4".to_string(),
+            mode: "Thunderbolt".to_string(),
+            workload: "smallbank".to_string(),
+            transport: "tcp".to_string(),
+            replicas: 4,
+            committed_txs: 1_000,
+            single_shard_txs: 1_000,
+            cross_shard_txs: 0,
+            throughput_tps: 2_000.0,
+            avg_latency_s: 0.05,
+            latency_p50_s: 0.04,
+            latency_p99_s: 0.2,
+            msgs_sent: 500,
+            msgs_delivered: 480,
+            bytes_sent: 100_000,
+            bytes_delivered: 96_000,
+            commit_order_digest: "00aabbccddeeff11".to_string(),
+            nodes_agree: true,
+            sim_digest_checked: true,
+            sim_digest_match: true,
+        };
+        let mut with_real_net = report.clone();
+        with_real_net.real_net.push(real_net_row.clone());
+        with_real_net
+            .validate()
+            .expect("well-formed real-net row must validate");
+        let json = crate::to_json(&with_real_net);
+        assert!(json.contains("\"real_net\""));
+        assert!(json.contains("\"transport\""));
+        let mut broken = with_real_net.clone();
+        broken.real_net[0].nodes_agree = false;
+        assert!(
+            broken.validate().is_err(),
+            "digest disagreement must reject"
+        );
+        let mut broken = with_real_net.clone();
+        broken.real_net[0].sim_digest_match = false;
+        assert!(
+            broken.validate().is_err(),
+            "sim-twin divergence must reject"
+        );
+        let mut broken = with_real_net.clone();
+        broken.real_net[0].bytes_sent = 0;
+        assert!(
+            broken.validate().is_err(),
+            "dead byte accounting must reject"
+        );
+        let mut broken = with_real_net.clone();
+        broken.real_net[0].committed_txs = 0;
+        assert!(broken.validate().is_err(), "empty real-net run must reject");
+        // An unchecked sim digest is not a failure (cross-shard scenarios).
+        let mut unchecked = with_real_net.clone();
+        unchecked.real_net[0].sim_digest_checked = false;
+        unchecked.real_net[0].sim_digest_match = false;
+        unchecked
+            .validate()
+            .expect("unchecked sim digest is allowed");
 
         // Self-ratios are exactly 1 on every shared row.
         let ratios = report.throughput_ratios(&report);

@@ -68,6 +68,16 @@ pub struct ClusterConfig {
     /// harness instantiates every replica from the same config; each replica
     /// compares its own id against this entry.
     pub byzantine: Option<(ReplicaId, ByzantineBehavior)>,
+    /// Lockstep proposal mode: a proposer advances to round `r + 1` only
+    /// once **all** `n` vertices of round `r` are in its DAG (not just a
+    /// `2f + 1` quorum). This makes the DAG complete, so the commit order —
+    /// and, on an all-single-shard workload, full block contents — become a
+    /// pure function of the transaction stream, independent of message
+    /// timing. The real-TCP path uses it to compare commit digests against
+    /// an in-process sim of the same scenario. The price is crash tolerance
+    /// (one silent replica wedges the cluster), so lockstep is only valid
+    /// for fault-free runs and defaults to off.
+    pub lockstep: bool,
 }
 
 impl ClusterConfig {
@@ -80,6 +90,7 @@ impl ClusterConfig {
             seed: 42,
             label: None,
             byzantine: None,
+            lockstep: false,
         }
     }
 
@@ -117,6 +128,12 @@ impl ClusterConfig {
     /// Makes `replica`'s proposer exhibit `behavior` (chaos campaigns).
     pub fn with_byzantine(mut self, replica: ReplicaId, behavior: ByzantineBehavior) -> Self {
         self.byzantine = Some((replica, behavior));
+        self
+    }
+
+    /// Enables lockstep proposal mode (see [`ClusterConfig::lockstep`]).
+    pub fn with_lockstep(mut self) -> Self {
+        self.lockstep = true;
         self
     }
 
@@ -263,6 +280,8 @@ impl ClusterSimulation {
         report.msgs_sent = stats.sent;
         report.msgs_delivered = stats.delivered;
         report.msgs_dropped = stats.dropped;
+        report.bytes_sent = stats.bytes_sent;
+        report.bytes_delivered = stats.bytes_delivered;
         report.faults_applied = self.faults.applied() as u64;
         report.faults_unapplied = self.faults.remaining() as u64;
         if report.faults_unapplied > 0 {

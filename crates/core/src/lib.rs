@@ -40,6 +40,7 @@ pub mod cluster;
 pub mod commit;
 pub mod messages;
 pub mod metrics;
+pub mod node;
 pub mod proposer;
 pub mod replica;
 pub mod scenario;
@@ -52,6 +53,7 @@ pub use cluster::{ClusterConfig, ClusterSimulation, ExecutionMode};
 pub use commit::{CommitOutput, CommitPipeline, PostCommitExecution};
 pub use messages::Message;
 pub use metrics::{LatencyHistogram, RoundCommitSample, RunReport};
+pub use node::{run_node, NodeReport, NodeSpec};
 pub use proposer::{ByzantineBehavior, ProposalDecision, ShardProposer};
 pub use replica::{Destination, Outbound, Replica};
-pub use scenario::ScenarioBuilder;
+pub use scenario::{RealNetPlan, ScenarioBuilder, ScenarioError, TransportKind};

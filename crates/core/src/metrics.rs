@@ -1,6 +1,7 @@
 //! Run reports produced by the cluster simulation.
 
 use serde::{Deserialize, Serialize};
+use tb_types::wire::{Wire, WireError, WireReader, WireWriter};
 use tb_types::{Round, SimTime};
 
 /// Number of power-of-two microsecond buckets in a [`LatencyHistogram`].
@@ -90,6 +91,24 @@ pub struct RoundCommitSample {
     pub digest: u64,
 }
 
+impl Wire for RoundCommitSample {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.dag);
+        self.round.encode(w);
+        self.committed_at.encode(w);
+        w.put_u64(self.digest);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(RoundCommitSample {
+            dag: r.u64()?,
+            round: Round::decode(r)?,
+            committed_at: SimTime::decode(r)?,
+            digest: r.u64()?,
+        })
+    }
+}
+
 /// Aggregated result of one simulation run, measured on the observer replica
 /// (replica 0 unless it is crashed). Honest replicas commit identical
 /// sequences, so any observer yields the same counts.
@@ -162,6 +181,12 @@ pub struct RunReport {
     /// Messages dropped by faults (crashes, silences, blocked links, random
     /// loss). Chaos runs assert this is visible rather than silently eaten.
     pub msgs_dropped: u64,
+    /// Wire-encoded payload bytes handed to the transport during the run.
+    /// Counts the message encoding only — length prefixes and handshakes are
+    /// excluded — so simulated and real-TCP runs report comparable traffic.
+    pub bytes_sent: u64,
+    /// Wire-encoded payload bytes the transport actually delivered.
+    pub bytes_delivered: u64,
     /// Scheduled faults the driver applied before the run ended.
     pub faults_applied: u64,
     /// Scheduled faults whose activation time the run never reached. A

@@ -1,0 +1,536 @@
+//! One out-of-process replica: a [`Replica`] state machine driven by a real
+//! [`TcpTransport`] instead of the discrete-event simulator.
+//!
+//! The launcher (`tb-launcher`) expands a
+//! [`RealNetPlan`](crate::scenario::RealNetPlan) into one [`NodeSpec`] per
+//! replica, ships each spec to a child process (hex-encoded in an
+//! environment variable), and collects one [`NodeReport`] per process from
+//! stdout. Both structs implement [`Wire`], so the whole exchange uses the
+//! same versioned encoding as the replica-to-replica protocol.
+//!
+//! # Determinism
+//!
+//! A node does not receive client transactions from anywhere: it expands the
+//! SmallBank spec into the *shared* client stream locally and enqueues the
+//! transactions whose home shard it currently serves, exactly as the sim
+//! harness routes them. Under lockstep (complete rounds) with full batches,
+//! block `r` of shard `i` contains positions `[r·b, (r+1)·b)` of the
+//! shard-`i` subsequence of that stream regardless of wall-clock timing —
+//! which is why a TCP run and a sim run of the same scenario commit the same
+//! order (see `docs/NET.md`).
+
+use crate::cluster::{ClusterConfig, ExecutionMode};
+use crate::messages::Message;
+use crate::metrics::{RoundCommitSample, RunReport};
+use crate::replica::{Destination, Replica};
+use std::io;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr};
+use std::time::{Duration, Instant};
+use tb_network::{RecvError, TcpPeer, TcpTransport, Transport};
+use tb_types::wire::{Wire, WireError, WireReader, WireWriter};
+use tb_types::{CeConfig, ReplicaId, SimTime};
+use tb_workload::{SmallBankConfig, SmallBankWorkload, Workload};
+
+/// How long a node keeps serving acks and vertices after reaching its own
+/// commit target, so slower peers can finish their last rounds.
+const LINGER: Duration = Duration::from_millis(500);
+
+/// Receive poll granularity of the node event loop.
+const RECV_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// Everything one node process needs to run: its identity, the full peer
+/// table, the scalar cluster knobs, and the compact SmallBank spec it
+/// expands into the shared client stream.
+///
+/// The cluster configuration is rebuilt via [`NodeSpec::cluster_config`]
+/// from [`ClusterConfig::thunderbolt`] defaults plus the listed overrides;
+/// the launcher's in-process sim twin MUST use the same reconstruction so
+/// both paths run the identical configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeSpec {
+    /// This node's replica id (index into `ports`).
+    pub node: u32,
+    /// Committee size.
+    pub replicas: u32,
+    /// Localhost TCP port of every replica, indexed by replica id.
+    pub ports: Vec<u16>,
+    /// Execution engine.
+    pub mode: ExecutionMode,
+    /// Cluster seed (folded into the workload stream, as in the sim).
+    pub seed: u64,
+    /// Wait for complete rounds before advancing (digest comparability).
+    pub lockstep: bool,
+    /// Prefer skip blocks on preplay recovery.
+    pub use_skip_blocks: bool,
+    /// Leader-round budget; the node stops after `max_rounds / 2` commits.
+    pub max_rounds: u64,
+    /// Preplay executor threads.
+    pub executors: u32,
+    /// Transactions per block.
+    pub batch: u32,
+    /// Validation worker threads.
+    pub validators: u32,
+    /// Synthetic per-operation cost in nanoseconds (0 for smoke runs).
+    pub op_cost_ns: u64,
+    /// Report label (empty string = engine default).
+    pub label: String,
+    /// Hard wall-clock deadline for the whole run, in milliseconds.
+    pub run_deadline_millis: u64,
+    /// The SmallBank spec, shipped untransformed; the node applies the same
+    /// `configure_for_cluster(replicas, seed)` retargeting as the sim.
+    pub smallbank: SmallBankConfig,
+}
+
+impl NodeSpec {
+    /// Rebuilds the per-replica cluster configuration this spec describes.
+    pub fn cluster_config(&self) -> ClusterConfig {
+        let mut config = ClusterConfig::thunderbolt(self.replicas);
+        config.mode = self.mode;
+        config.seed = self.seed;
+        config.lockstep = self.lockstep;
+        config.use_skip_blocks = self.use_skip_blocks;
+        config.system.max_rounds = self.max_rounds;
+        let mut ce = CeConfig::new(self.executors as usize, self.batch as usize);
+        ce.synthetic_op_cost_ns = self.op_cost_ns;
+        config.system.ce = ce;
+        config.system.validators = self.validators as usize;
+        if !self.label.is_empty() {
+            config.label = Some(self.label.clone());
+        }
+        config
+    }
+
+    /// The peer table as socket addresses on localhost.
+    pub fn peers(&self) -> Vec<TcpPeer> {
+        self.ports
+            .iter()
+            .enumerate()
+            .map(|(i, &port)| TcpPeer {
+                id: ReplicaId::new(i as u32),
+                addr: SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), port),
+            })
+            .collect()
+    }
+
+    /// Rounds the node must see committed before it stops (the same target
+    /// as [`ClusterSimulation::run`](crate::cluster::ClusterSimulation)).
+    pub fn target_commits(&self) -> usize {
+        (self.max_rounds / 2).max(1) as usize
+    }
+}
+
+impl Wire for NodeSpec {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.node);
+        w.put_u32(self.replicas);
+        w.put_len(self.ports.len());
+        for &port in &self.ports {
+            w.put_u16(port);
+        }
+        w.put_u8(match self.mode {
+            ExecutionMode::Thunderbolt => 0,
+            ExecutionMode::ThunderboltOcc => 1,
+            ExecutionMode::Tusk => 2,
+        });
+        w.put_u64(self.seed);
+        w.put_bool(self.lockstep);
+        w.put_bool(self.use_skip_blocks);
+        w.put_u64(self.max_rounds);
+        w.put_u32(self.executors);
+        w.put_u32(self.batch);
+        w.put_u32(self.validators);
+        w.put_u64(self.op_cost_ns);
+        self.label.encode(w);
+        w.put_u64(self.run_deadline_millis);
+        w.put_u64(self.smallbank.accounts);
+        w.put_f64(self.smallbank.theta);
+        w.put_f64(self.smallbank.pr_read);
+        w.put_f64(self.smallbank.cross_shard_fraction);
+        w.put_u32(self.smallbank.n_shards);
+        w.put_i64(self.smallbank.max_amount);
+        w.put_i64(self.smallbank.initial_balance);
+        w.put_u64(self.smallbank.seed);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let node = r.u32()?;
+        let replicas = r.u32()?;
+        let n_ports = r.seq_len()?;
+        let mut ports = Vec::with_capacity(n_ports);
+        for _ in 0..n_ports {
+            ports.push(r.u16()?);
+        }
+        let mode = match r.u8()? {
+            0 => ExecutionMode::Thunderbolt,
+            1 => ExecutionMode::ThunderboltOcc,
+            2 => ExecutionMode::Tusk,
+            tag => {
+                return Err(WireError::InvalidTag {
+                    type_name: "ExecutionMode",
+                    tag: u32::from(tag),
+                })
+            }
+        };
+        Ok(NodeSpec {
+            node,
+            replicas,
+            ports,
+            mode,
+            seed: r.u64()?,
+            lockstep: r.bool()?,
+            use_skip_blocks: r.bool()?,
+            max_rounds: r.u64()?,
+            executors: r.u32()?,
+            batch: r.u32()?,
+            validators: r.u32()?,
+            op_cost_ns: r.u64()?,
+            label: String::decode(r)?,
+            run_deadline_millis: r.u64()?,
+            smallbank: SmallBankConfig {
+                accounts: r.u64()?,
+                theta: r.f64()?,
+                pr_read: r.f64()?,
+                cross_shard_fraction: r.f64()?,
+                n_shards: r.u32()?,
+                max_amount: r.i64()?,
+                initial_balance: r.i64()?,
+                seed: r.u64()?,
+            },
+        })
+    }
+}
+
+/// What one node process reports back to the launcher when it stops.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeReport {
+    /// The reporting replica.
+    pub node: u32,
+    /// Committed transactions (single-shard + cross-shard).
+    pub committed_txs: u64,
+    /// Committed single-shard transactions.
+    pub single_shard_txs: u64,
+    /// Committed cross-shard transactions.
+    pub cross_shard_txs: u64,
+    /// Preplayed blocks discarded by validation.
+    pub invalid_blocks: u64,
+    /// Highest DAG round reached.
+    pub highest_round: u64,
+    /// Run duration up to the last commit, in (wall-clock) microseconds.
+    pub duration_micros: u64,
+    /// Summed per-transaction commit latencies in seconds.
+    pub total_latency_secs: f64,
+    /// Median per-transaction commit latency in seconds.
+    pub latency_p50_secs: f64,
+    /// 99th-percentile per-transaction commit latency in seconds.
+    pub latency_p99_secs: f64,
+    /// Final FNV-1a commit-order digest.
+    pub commit_digest: u64,
+    /// Per-round commit samples (digest snapshots included), the basis of
+    /// both cross-node and sim-vs-TCP agreement checks.
+    pub round_commits: Vec<RoundCommitSample>,
+    /// Messages handed to the transport.
+    pub msgs_sent: u64,
+    /// Messages delivered to this node.
+    pub msgs_delivered: u64,
+    /// Messages that could not be sent (peer connect/write failures).
+    pub msgs_dropped: u64,
+    /// Wire-encoded payload bytes sent.
+    pub bytes_sent: u64,
+    /// Wire-encoded payload bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+impl Wire for NodeReport {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.node);
+        w.put_u64(self.committed_txs);
+        w.put_u64(self.single_shard_txs);
+        w.put_u64(self.cross_shard_txs);
+        w.put_u64(self.invalid_blocks);
+        w.put_u64(self.highest_round);
+        w.put_u64(self.duration_micros);
+        w.put_f64(self.total_latency_secs);
+        w.put_f64(self.latency_p50_secs);
+        w.put_f64(self.latency_p99_secs);
+        w.put_u64(self.commit_digest);
+        self.round_commits.encode(w);
+        w.put_u64(self.msgs_sent);
+        w.put_u64(self.msgs_delivered);
+        w.put_u64(self.msgs_dropped);
+        w.put_u64(self.bytes_sent);
+        w.put_u64(self.bytes_delivered);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(NodeReport {
+            node: r.u32()?,
+            committed_txs: r.u64()?,
+            single_shard_txs: r.u64()?,
+            cross_shard_txs: r.u64()?,
+            invalid_blocks: r.u64()?,
+            highest_round: r.u64()?,
+            duration_micros: r.u64()?,
+            total_latency_secs: r.f64()?,
+            latency_p50_secs: r.f64()?,
+            latency_p99_secs: r.f64()?,
+            commit_digest: r.u64()?,
+            round_commits: Vec::<RoundCommitSample>::decode(r)?,
+            msgs_sent: r.u64()?,
+            msgs_delivered: r.u64()?,
+            msgs_dropped: r.u64()?,
+            bytes_sent: r.u64()?,
+            bytes_delivered: r.u64()?,
+        })
+    }
+}
+
+impl NodeReport {
+    /// Folds this node's counters into a [`RunReport`] shaped like a sim
+    /// run's, so real-net rows can reuse the report tooling.
+    pub fn to_run_report(&self, label: &str, workload: &str, replicas: u32) -> RunReport {
+        RunReport {
+            label: label.to_string(),
+            workload: workload.to_string(),
+            replicas,
+            committed_txs: self.committed_txs,
+            single_shard_txs: self.single_shard_txs,
+            cross_shard_txs: self.cross_shard_txs,
+            invalid_blocks: self.invalid_blocks,
+            duration: SimTime::from_micros(self.duration_micros),
+            total_latency_secs: self.total_latency_secs,
+            latency_p50_secs: self.latency_p50_secs,
+            latency_p99_secs: self.latency_p99_secs,
+            commit_order_digest: format!("{:016x}", self.commit_digest),
+            round_commits: self.round_commits.clone(),
+            highest_round: tb_types::Round::new(self.highest_round),
+            msgs_sent: self.msgs_sent,
+            msgs_delivered: self.msgs_delivered,
+            msgs_dropped: self.msgs_dropped,
+            bytes_sent: self.bytes_sent,
+            bytes_delivered: self.bytes_delivered,
+            ..RunReport::default()
+        }
+    }
+}
+
+/// Runs one replica over real TCP to completion, per `spec`.
+///
+/// Binds the node's listener, dials peers lazily on first send (with the
+/// transport's connect deadline absorbing start-up skew), expands the
+/// client stream locally, and drives the replica until it has seen
+/// [`NodeSpec::target_commits`] round commits (plus a short linger for
+/// slower peers) or the wall-clock deadline expires.
+pub fn run_node(spec: NodeSpec) -> io::Result<NodeReport> {
+    let config = spec.cluster_config();
+    let batch = config.system.ce.batch_size;
+    let id = ReplicaId::new(spec.node);
+    let mut replica = Replica::new(id, config);
+
+    let mut workload: Box<dyn Workload> = Box::new(SmallBankWorkload::new(spec.smallbank));
+    workload.configure_for_cluster(spec.replicas, spec.seed);
+    replica.load_state(workload.initial_state());
+
+    let peers = spec.peers();
+    let mut transport: TcpTransport<Message> = TcpTransport::bind(id, peers)?;
+
+    let started = Instant::now();
+    let deadline = started + Duration::from_millis(spec.run_deadline_millis.max(1));
+    let target_commits = spec.target_commits();
+
+    // Prime the client queue before the first proposal, as the sim does.
+    top_up(
+        &mut replica,
+        workload.as_mut(),
+        batch,
+        spec.replicas,
+        SimTime::ZERO,
+    );
+    let outbound = replica.start(SimTime::ZERO);
+    let _ = replica.take_busy();
+    dispatch(&mut transport, id, outbound);
+
+    let mut linger_until: Option<Instant> = None;
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        if let Some(until) = linger_until {
+            if now >= until {
+                break;
+            }
+        }
+        match transport.recv_timeout(RECV_TIMEOUT) {
+            Ok(inbound) => {
+                let at = SimTime::from_micros(started.elapsed().as_micros() as u64);
+                let outbound = replica.handle(inbound.from, inbound.msg, at);
+                // Execution cost was paid in real time on this thread; the
+                // busy tracker only matters to the simulated clock.
+                let _ = replica.take_busy();
+                dispatch(&mut transport, id, outbound);
+                if replica.pending_client_txs() < batch {
+                    top_up(&mut replica, workload.as_mut(), batch, spec.replicas, at);
+                }
+            }
+            Err(RecvError::TimedOut) => {}
+            Err(RecvError::Closed) => break,
+        }
+        if linger_until.is_none() && replica.metrics().round_commits.len() >= target_commits {
+            linger_until = Some(Instant::now() + LINGER);
+        }
+    }
+
+    let stats = transport.stats();
+    transport.shutdown();
+
+    let metrics = replica.metrics();
+    let duration_micros = metrics
+        .round_commits
+        .last()
+        .map(|sample| sample.committed_at.as_micros())
+        .unwrap_or_else(|| started.elapsed().as_micros() as u64);
+    Ok(NodeReport {
+        node: spec.node,
+        committed_txs: metrics.committed_txs,
+        single_shard_txs: metrics.single_shard_txs,
+        cross_shard_txs: metrics.cross_shard_txs,
+        invalid_blocks: metrics.invalid_blocks,
+        highest_round: replica.current_round().as_u64(),
+        duration_micros,
+        total_latency_secs: metrics.total_latency_secs,
+        latency_p50_secs: metrics.latency_hist.quantile_secs(0.5),
+        latency_p99_secs: metrics.latency_hist.quantile_secs(0.99),
+        commit_digest: metrics.commit_order_digest,
+        round_commits: metrics.round_commits.clone(),
+        msgs_sent: stats.sent,
+        msgs_delivered: stats.delivered,
+        msgs_dropped: stats.dropped,
+        bytes_sent: stats.bytes_sent,
+        bytes_delivered: stats.bytes_delivered,
+    })
+}
+
+/// Generates the shared client stream and enqueues this replica's share
+/// until its queue holds two batches — the open-loop client. Transactions
+/// homed on other shards are *generated and discarded*: stream positions
+/// must advance identically on every node.
+fn top_up(
+    replica: &mut Replica,
+    workload: &mut dyn Workload,
+    batch: usize,
+    replicas: u32,
+    now: SimTime,
+) {
+    let goal = batch * 2;
+    // The shard filter passes roughly 1/n of the stream, so the generation
+    // cap scales with the committee where the sim's (which routes every
+    // transaction to some replica) does not.
+    let cap = batch * 8 * replicas.max(1) as usize;
+    let mut generated = 0usize;
+    while replica.pending_client_txs() < goal && generated < cap {
+        let tx = workload.next_transaction(now);
+        generated += 1;
+        if tx.home_shard() == replica.current_shard() {
+            replica.enqueue(tx);
+        }
+    }
+}
+
+fn dispatch(
+    transport: &mut TcpTransport<Message>,
+    from: ReplicaId,
+    outbound: Vec<crate::replica::Outbound>,
+) {
+    for out in outbound {
+        // Send failures surface in the transport's dropped counters; a
+        // lockstep run that loses a frame stalls and hits the deadline,
+        // which the launcher reports as the node falling short of target.
+        let _ = match out.dest {
+            Destination::Broadcast => transport.broadcast(from, out.msg),
+            Destination::To(to) => transport.send(from, to, out.msg),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> NodeSpec {
+        NodeSpec {
+            node: 1,
+            replicas: 4,
+            ports: vec![9001, 9002, 9003, 9004],
+            mode: ExecutionMode::ThunderboltOcc,
+            seed: 42,
+            lockstep: true,
+            use_skip_blocks: false,
+            max_rounds: 8,
+            executors: 2,
+            batch: 32,
+            validators: 2,
+            op_cost_ns: 0,
+            label: "real-net".to_string(),
+            run_deadline_millis: 30_000,
+            smallbank: SmallBankConfig {
+                accounts: 128,
+                seed: 11,
+                ..SmallBankConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn node_spec_round_trips_and_rebuilds_the_config() {
+        let spec = spec();
+        let bytes = spec.to_wire_bytes();
+        assert_eq!(NodeSpec::from_wire_bytes(&bytes), Ok(spec.clone()));
+
+        let config = spec.cluster_config();
+        assert_eq!(config.system.n_replicas, 4);
+        assert_eq!(config.mode, ExecutionMode::ThunderboltOcc);
+        assert!(config.lockstep);
+        assert_eq!(config.system.ce.batch_size, 32);
+        assert_eq!(config.system.validators, 2);
+        assert_eq!(config.label.as_deref(), Some("real-net"));
+        assert_eq!(spec.target_commits(), 4);
+        assert_eq!(spec.peers()[2].id, ReplicaId::new(2));
+        assert_eq!(spec.peers()[2].addr.port(), 9003);
+    }
+
+    #[test]
+    fn node_report_round_trips_and_converts_to_a_run_report() {
+        let report = NodeReport {
+            node: 2,
+            committed_txs: 640,
+            single_shard_txs: 640,
+            cross_shard_txs: 0,
+            invalid_blocks: 0,
+            highest_round: 9,
+            duration_micros: 1_500_000,
+            total_latency_secs: 12.5,
+            latency_p50_secs: 0.02,
+            latency_p99_secs: 0.08,
+            commit_digest: 0xdead_beef,
+            round_commits: vec![RoundCommitSample {
+                dag: 0,
+                round: tb_types::Round::new(1),
+                committed_at: SimTime::from_millis(250),
+                digest: 0xdead_beef,
+            }],
+            msgs_sent: 100,
+            msgs_delivered: 90,
+            msgs_dropped: 0,
+            bytes_sent: 40_000,
+            bytes_delivered: 36_000,
+        };
+        let bytes = report.to_wire_bytes();
+        assert_eq!(NodeReport::from_wire_bytes(&bytes), Ok(report.clone()));
+
+        let run = report.to_run_report("Thunderbolt", "smallbank", 4);
+        assert_eq!(run.committed_txs, 640);
+        assert_eq!(run.commit_order_digest, format!("{:016x}", 0xdead_beefu64));
+        assert!((run.throughput_tps() - 640.0 / 1.5).abs() < 1e-6);
+        assert_eq!(run.bytes_sent, 40_000);
+    }
+}

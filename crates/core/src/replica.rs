@@ -312,6 +312,8 @@ impl Replica {
             msgs_sent: 0,
             msgs_delivered: 0,
             msgs_dropped: 0,
+            bytes_sent: 0,
+            bytes_delivered: 0,
             faults_applied: 0,
             faults_unapplied: 0,
         }
@@ -860,6 +862,17 @@ impl Replica {
     fn maybe_advance(&mut self, now: SimTime) -> Vec<Outbound> {
         let mut out = Vec::new();
         while self.proposed_current && self.dag.round_has_quorum(self.current_round) {
+            // Lockstep mode waits for the *complete* round — all n vertices,
+            // not just a 2f+1 quorum — before advancing. With a complete DAG
+            // the committed sub-DAG sequence is a pure function of the
+            // transaction stream, which is what lets a real-TCP run be
+            // digest-compared against an in-process sim run (see
+            // `ClusterConfig::lockstep` for the crash-tolerance trade-off).
+            if self.config.lockstep
+                && self.dag.authors_at_round(self.current_round) < self.committee.size() as usize
+            {
+                break;
+            }
             self.current_round = self.current_round.next();
             self.proposed_current = false;
             self.my_header = None;
@@ -911,6 +924,7 @@ mod tests {
             seed: 7,
             label: None,
             byzantine: None,
+            lockstep: false,
         }
     }
 

@@ -31,9 +31,95 @@
 use crate::cluster::{ClusterConfig, ClusterSimulation, ExecutionMode};
 use crate::metrics::RunReport;
 use crate::proposer::ByzantineBehavior;
+use std::fmt;
 use tb_network::FaultPlan;
 use tb_types::{CeConfig, LatencyModel, ReconfigConfig, ReplicaId, SystemConfig};
 use tb_workload::{SmallBankConfig, Workload};
+
+/// Which transport a scenario targets.
+///
+/// [`TransportKind::Sim`] (the default) runs the whole committee in-process
+/// over the discrete-event [`SimNetwork`](tb_network::SimNetwork);
+/// [`TransportKind::Tcp`] describes an out-of-process cluster where each
+/// replica is its own OS process speaking length-prefixed frames over
+/// `std::net::TcpStream` (see `docs/NET.md`). The TCP transport cannot
+/// inject simulated faults, so [`ScenarioBuilder::build_real_net`] rejects
+/// scenarios carrying a fault plan instead of silently ignoring it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process discrete-event simulation (the default).
+    #[default]
+    Sim,
+    /// Out-of-process cluster over real localhost TCP.
+    Tcp,
+}
+
+/// Why a scenario cannot be taken out-of-process over TCP.
+///
+/// Returned by [`ScenarioBuilder::build_real_net`]. Each variant names a
+/// capability the real transport does not have; the fix is always to drop
+/// the offending knob or stay on [`TransportKind::Sim`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The scenario carries a fault plan, but crashes, censoring, partitions
+    /// and message loss are injected *into the simulated network* — a real
+    /// TCP transport has no hook for them. This is a hard error rather than
+    /// the sim path's stderr warning: a fault plan that cannot apply must
+    /// not no-op silently.
+    FaultsUnsupported {
+        /// Number of scheduled faults in the rejected plan.
+        scheduled: usize,
+    },
+    /// The scenario uses a workload the node processes cannot re-generate
+    /// from a compact spec. Real-net nodes rebuild the client stream
+    /// independently from a [`SmallBankConfig`], so only workloads set via
+    /// [`ScenarioBuilder::smallbank`] (or the default) are supported.
+    WorkloadUnsupported {
+        /// Name of the rejected workload.
+        name: String,
+    },
+    /// Byzantine proposer behaviour is driven by the simulation harness and
+    /// is not available out-of-process.
+    ByzantineUnsupported,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::FaultsUnsupported { scheduled } => write!(
+                f,
+                "the TCP transport cannot inject simulated faults \
+                 ({scheduled} scheduled); drop the fault plan or use the \
+                 sim transport"
+            ),
+            ScenarioError::WorkloadUnsupported { name } => write!(
+                f,
+                "real-net nodes can only re-generate SmallBank streams; \
+                 workload {name:?} has no compact wire spec"
+            ),
+            ScenarioError::ByzantineUnsupported => write!(
+                f,
+                "byzantine proposer behaviour is simulation-only and cannot \
+                 run out-of-process"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Everything a launcher needs to run a scenario as N OS processes over
+/// localhost TCP: the per-replica cluster configuration plus the compact
+/// workload spec each node process expands into the shared client stream.
+///
+/// Built by [`ScenarioBuilder::build_real_net`]; consumed by `tb-launcher`.
+#[derive(Clone, Debug)]
+pub struct RealNetPlan {
+    /// Per-replica configuration (engine, system knobs, seed, lockstep).
+    pub config: ClusterConfig,
+    /// The SmallBank spec every node re-generates the client stream from.
+    pub smallbank: SmallBankConfig,
+}
 
 /// Fluent builder for cluster scenarios.
 ///
@@ -44,6 +130,12 @@ pub struct ScenarioBuilder {
     config: ClusterConfig,
     workload: Box<dyn Workload>,
     faults: FaultPlan,
+    transport: TransportKind,
+    /// The compact spec behind `workload`, kept whenever the workload was
+    /// set as a `SmallBankConfig` — the only workload the real-net path can
+    /// ship to node processes. `None` after [`ScenarioBuilder::workload`]
+    /// installs an opaque generator.
+    smallbank: Option<SmallBankConfig>,
 }
 
 impl ScenarioBuilder {
@@ -53,6 +145,8 @@ impl ScenarioBuilder {
             config: ClusterConfig::thunderbolt(replicas),
             workload: SmallBankConfig::default().into(),
             faults: FaultPlan::none(),
+            transport: TransportKind::Sim,
+            smallbank: Some(SmallBankConfig::default()),
         }
     }
 
@@ -69,6 +163,38 @@ impl ScenarioBuilder {
     /// when the simulation is built.
     pub fn workload(mut self, workload: impl Into<Box<dyn Workload>>) -> Self {
         self.workload = workload.into();
+        self.smallbank = None;
+        self
+    }
+
+    /// Selects a SmallBank workload *and* remembers its compact spec, which
+    /// is what allows the scenario to go out-of-process: real-net node
+    /// processes re-generate the client stream from the spec instead of
+    /// receiving transactions from the harness. Equivalent to
+    /// [`ScenarioBuilder::workload`] on the sim path.
+    pub fn smallbank(mut self, config: SmallBankConfig) -> Self {
+        self.workload = config.into();
+        self.smallbank = Some(config);
+        self
+    }
+
+    /// Selects the transport the scenario targets. [`TransportKind::Sim`]
+    /// (the default) is consumed by [`ScenarioBuilder::build`] /
+    /// [`ScenarioBuilder::run`]; [`TransportKind::Tcp`] by
+    /// [`ScenarioBuilder::build_real_net`].
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Makes every replica wait for the *complete* previous round (all `n`
+    /// vertices, not just a `2f + 1` quorum) before advancing. With a
+    /// complete DAG the commit order is a pure function of the client
+    /// stream, so a real-TCP run can be digest-compared against an
+    /// in-process sim run of the same scenario. Only meaningful for
+    /// fault-free runs — a single crashed replica halts a lockstep cluster.
+    pub fn lockstep(mut self) -> Self {
+        self.config.lockstep = true;
         self
     }
 
@@ -155,7 +281,10 @@ impl ScenarioBuilder {
         &self.config
     }
 
-    /// Builds the simulation without running it.
+    /// Builds the in-process simulation without running it (the
+    /// [`TransportKind::Sim`] path, regardless of the
+    /// [`ScenarioBuilder::transport`] setting — use
+    /// [`ScenarioBuilder::build_real_net`] for the TCP path).
     pub fn build(self) -> ClusterSimulation {
         ClusterSimulation::new(self.config, self.workload, self.faults)
     }
@@ -163,6 +292,37 @@ impl ScenarioBuilder {
     /// Builds the simulation, runs it to completion and returns the report.
     pub fn run(self) -> RunReport {
         self.build().run()
+    }
+
+    /// Validates the scenario for the real TCP transport and returns the
+    /// [`RealNetPlan`] a launcher expands into N OS processes.
+    ///
+    /// Errors instead of warning: capabilities the real transport lacks —
+    /// simulated fault injection, byzantine proposers, opaque workloads —
+    /// reject the scenario at build time rather than silently testing
+    /// something else (contrast the sim path's `faults_unapplied` stderr
+    /// warning, which fires only *after* a run).
+    pub fn build_real_net(self) -> Result<RealNetPlan, ScenarioError> {
+        if !self.faults.is_empty() {
+            return Err(ScenarioError::FaultsUnsupported {
+                scheduled: self.faults.len(),
+            });
+        }
+        if self.config.byzantine.is_some() {
+            return Err(ScenarioError::ByzantineUnsupported);
+        }
+        let Some(smallbank) = self.smallbank else {
+            return Err(ScenarioError::WorkloadUnsupported {
+                name: self.workload.name().to_string(),
+            });
+        };
+        // The spec ships untransformed: every node applies the same
+        // `configure_for_cluster(n, seed)` retargeting the sim harness does,
+        // so both paths expand the identical client stream.
+        Ok(RealNetPlan {
+            config: self.config,
+            smallbank,
+        })
     }
 }
 
@@ -235,6 +395,63 @@ mod tests {
             .run();
         assert!(report.committed_txs > 0, "f=1 crash must not halt commits");
         assert_eq!(report.workload, "contract");
+    }
+
+    #[test]
+    fn real_net_build_rejects_sim_only_capabilities() {
+        // A fault plan on the TCP transport is a build-time error, not a
+        // post-run stderr warning.
+        let err = ScenarioBuilder::new(4)
+            .transport(TransportKind::Tcp)
+            .faults(FaultPlan::crash_replicas(4, 1, SimTime::ZERO))
+            .build_real_net()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::FaultsUnsupported { scheduled: 1 });
+        assert!(err.to_string().contains("cannot inject simulated faults"));
+
+        let err = ScenarioBuilder::new(4)
+            .byzantine(ReplicaId::new(1), ByzantineBehavior::Equivocate)
+            .build_real_net()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::ByzantineUnsupported);
+
+        let err = ScenarioBuilder::new(4)
+            .workload(ContractWorkloadConfig::default())
+            .build_real_net()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::WorkloadUnsupported {
+                name: "contract".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn real_net_build_ships_the_smallbank_spec_and_lockstep() {
+        let spec = tb_workload::SmallBankConfig {
+            accounts: 128,
+            seed: 11,
+            ..tb_workload::SmallBankConfig::default()
+        };
+        let plan = ScenarioBuilder::new(4)
+            .transport(TransportKind::Tcp)
+            .smallbank(spec)
+            .lockstep()
+            .rounds(8)
+            .build_real_net()
+            .expect("fault-free smallbank scenario must be launchable");
+        assert!(plan.config.lockstep);
+        assert_eq!(plan.config.system.max_rounds, 8);
+        assert_eq!(plan.smallbank.accounts, 128);
+        // The spec ships untransformed; nodes retarget it themselves.
+        assert_eq!(plan.smallbank.seed, 11);
+    }
+
+    #[test]
+    fn smallbank_spec_survives_the_builder_where_opaque_workloads_do_not() {
+        // The default workload is launchable out of the box.
+        assert!(ScenarioBuilder::new(4).build_real_net().is_ok());
     }
 
     #[test]

@@ -194,6 +194,7 @@ fn cluster_config(pipelined: bool) -> ClusterConfig {
         seed: 7,
         label: None,
         byzantine: None,
+        lockstep: false,
     }
 }
 

@@ -1,0 +1,18 @@
+//! One Thunderbolt replica as an OS process.
+//!
+//! Normally spawned by `tb-launcher` (or any binary using
+//! `tb_launcher::run_real_net_scenario`) with the node spec hex-encoded in
+//! `TB_NODE_SPEC`; run standalone it prints usage. See `docs/NET.md`.
+
+fn main() {
+    if tb_launcher::maybe_run_node_from_env() {
+        return;
+    }
+    eprintln!(
+        "thunderbolt-node runs one replica of an out-of-process cluster; it \
+         expects a hex-encoded NodeSpec in ${} and is normally spawned by \
+         tb-launcher. Try: cargo run --release --bin tb-launcher",
+        tb_launcher::NODE_SPEC_ENV
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,86 @@
+//! End-to-end smoke test of the out-of-process cluster: 4 OS processes over
+//! localhost TCP commit a SmallBank workload, agree on their commit-order
+//! digests, and match an in-process sim run of the same scenario.
+//!
+//! `harness = false`: the test binary doubles as its own node image — the
+//! launcher re-executes `current_exe()` with `TB_NODE_SPEC` set, and the
+//! dispatch at the top of `main` turns those re-executions into nodes.
+
+use std::time::Duration;
+use tb_core::ScenarioBuilder;
+use tb_launcher::{maybe_run_node_from_env, run_real_net_scenario, LaunchOptions};
+use tb_workload::SmallBankConfig;
+
+fn main() {
+    if maybe_run_node_from_env() {
+        return;
+    }
+
+    let plan = ScenarioBuilder::new(4)
+        .smallbank(SmallBankConfig {
+            accounts: 128,
+            cross_shard_fraction: 0.0,
+            ..SmallBankConfig::default()
+        })
+        .executors(1, 32)
+        .validators(2)
+        .rounds(8)
+        .seed(7)
+        .lockstep()
+        .tune(|system| system.ce = system.ce.without_synthetic_cost())
+        .build_real_net()
+        .expect("fault-free smallbank scenario must be launchable");
+    let target = (plan.config.system.max_rounds / 2).max(1) as usize;
+
+    let options = LaunchOptions {
+        node_deadline: Duration::from_secs(45),
+        check_sim_digest: true,
+    };
+    let outcome = run_real_net_scenario(&plan, &options).expect("cluster launch failed");
+
+    assert_eq!(outcome.reports.len(), 4, "one report per node process");
+    for report in &outcome.reports {
+        assert!(
+            report.committed_txs > 0,
+            "node {} committed nothing",
+            report.node
+        );
+        assert!(
+            report.round_commits.len() >= target,
+            "node {} committed {} rounds, wanted {}",
+            report.node,
+            report.round_commits.len(),
+            target
+        );
+        assert!(report.bytes_sent > 0, "byte accounting must be wired up");
+        assert!(report.msgs_delivered > 0);
+    }
+    assert!(
+        outcome.nodes_agree,
+        "nodes disagreed on commit-order digests: {:?}",
+        outcome
+            .reports
+            .iter()
+            .map(|r| (r.node, r.commit_digest))
+            .collect::<Vec<_>>()
+    );
+    assert!(outcome.sim_digest_checked);
+    assert!(
+        outcome.sim_digest_match,
+        "TCP run diverged from the in-process sim twin:\n  tcp  {:?}\n  sim  {:?}",
+        outcome.reports[0]
+            .round_commits
+            .iter()
+            .map(|s| (s.round, s.digest))
+            .collect::<Vec<_>>(),
+        outcome.sim_report.as_ref().map(|sim| sim
+            .round_commits
+            .iter()
+            .map(|s| (s.round, s.digest))
+            .collect::<Vec<_>>())
+    );
+    println!(
+        "real-net smoke OK: 4 processes, {} txs committed on node 0, digests agree with sim",
+        outcome.reports[0].committed_txs
+    );
+}

@@ -15,6 +15,10 @@
 
 pub mod faults;
 pub mod sim;
+pub mod tcp;
+pub mod transport;
 
 pub use faults::{FaultAction, FaultPlan, ScheduledFault};
 pub use sim::{NetEvent, NetworkStats, SimNetwork};
+pub use tcp::{TcpPeer, TcpTransport};
+pub use transport::{Inbound, RecvError, Transport, TransportError, WireSized};

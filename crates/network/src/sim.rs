@@ -1,5 +1,6 @@
 //! The discrete-event network simulator.
 
+use crate::transport::WireSized;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -27,7 +28,13 @@ pub enum NetEvent<M> {
     },
 }
 
-/// Aggregate statistics of a simulation run.
+/// Aggregate statistics of a transport (simulated or real).
+///
+/// Counts are tracked in both messages and bytes so that a simulated run and
+/// a real-TCP run of the same scenario report comparable traffic figures.
+/// Byte counts measure the wire encoding of the message payload (the
+/// [`WireSized`] size; length prefixes and connection handshakes are
+/// excluded).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NetworkStats {
     /// Messages handed to the network.
@@ -39,12 +46,21 @@ pub struct NetworkStats {
     pub dropped: u64,
     /// Timers fired.
     pub timers_fired: u64,
+    /// Payload bytes handed to the network.
+    pub bytes_sent: u64,
+    /// Payload bytes delivered to their destination.
+    pub bytes_delivered: u64,
+    /// Payload bytes dropped by faults.
+    pub bytes_dropped: u64,
 }
 
 #[derive(Debug)]
 struct Scheduled<M> {
     at: SimTime,
     seq: u64,
+    /// Wire size of the payload, captured at send time so delivery-side
+    /// accounting does not need to re-measure (or re-bound) the message.
+    size: u64,
     event: NetEvent<M>,
 }
 
@@ -175,44 +191,21 @@ impl<M> SimNetwork<M> {
         }
     }
 
-    fn schedule(&mut self, at: SimTime, event: NetEvent<M>) {
+    fn schedule(&mut self, at: SimTime, size: u64, event: NetEvent<M>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, event }));
-    }
-
-    /// Sends a message from `from` to `to`, applying faults and latency.
-    pub fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: M) {
-        self.send_delayed(from, to, msg, SimTime::ZERO);
-    }
-
-    /// Sends a message whose emission is delayed by `extra` beyond the
-    /// current simulated time (used to model the sender being busy executing
-    /// transactions when it produced the message).
-    pub fn send_delayed(&mut self, from: ReplicaId, to: ReplicaId, msg: M, extra: SimTime) {
-        self.stats.sent += 1;
-        if self.crashed.contains(&from)
-            || self.crashed.contains(&to)
-            || self.silenced.contains(&from)
-            || self.blocked_links.contains(&(from, to))
-            || (self.drop_probability > 0.0 && self.rng.gen::<f64>() < self.drop_probability)
-        {
-            self.stats.dropped += 1;
-            return;
-        }
-        let latency = if from == to {
-            SimTime::ZERO
-        } else {
-            self.sample_latency()
-        };
-        let at = self.now + extra + latency;
-        self.schedule(at, NetEvent::Message { from, to, msg });
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            size,
+            event,
+        }));
     }
 
     /// Arms a timer for `replica` that fires after `delay`.
     pub fn set_timer(&mut self, replica: ReplicaId, token: u64, delay: SimTime) {
         let at = self.now + delay;
-        self.schedule(at, NetEvent::Timer { replica, token });
+        self.schedule(at, 0, NetEvent::Timer { replica, token });
     }
 
     /// Pops the next event, advancing the simulated clock to its timestamp.
@@ -225,9 +218,11 @@ impl<M> SimNetwork<M> {
                 NetEvent::Message { to, .. } => {
                     if self.crashed.contains(to) {
                         self.stats.dropped += 1;
+                        self.stats.bytes_dropped += scheduled.size;
                         continue;
                     }
                     self.stats.delivered += 1;
+                    self.stats.bytes_delivered += scheduled.size;
                 }
                 NetEvent::Timer { replica, .. } => {
                     if self.crashed.contains(replica) {
@@ -252,7 +247,51 @@ impl<M> SimNetwork<M> {
     }
 }
 
-impl<M: Clone> SimNetwork<M> {
+impl<M: WireSized> SimNetwork<M> {
+    /// Sends a message from `from` to `to`, applying faults and latency.
+    pub fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: M) {
+        self.send_delayed(from, to, msg, SimTime::ZERO);
+    }
+
+    /// Sends a message whose emission is delayed by `extra` beyond the
+    /// current simulated time (used to model the sender being busy executing
+    /// transactions when it produced the message).
+    pub fn send_delayed(&mut self, from: ReplicaId, to: ReplicaId, msg: M, extra: SimTime) {
+        let size = msg.wire_size() as u64;
+        self.send_delayed_sized(from, to, msg, extra, size);
+    }
+
+    fn send_delayed_sized(
+        &mut self,
+        from: ReplicaId,
+        to: ReplicaId,
+        msg: M,
+        extra: SimTime,
+        size: u64,
+    ) {
+        self.stats.sent += 1;
+        self.stats.bytes_sent += size;
+        if self.crashed.contains(&from)
+            || self.crashed.contains(&to)
+            || self.silenced.contains(&from)
+            || self.blocked_links.contains(&(from, to))
+            || (self.drop_probability > 0.0 && self.rng.gen::<f64>() < self.drop_probability)
+        {
+            self.stats.dropped += 1;
+            self.stats.bytes_dropped += size;
+            return;
+        }
+        let latency = if from == to {
+            SimTime::ZERO
+        } else {
+            self.sample_latency()
+        };
+        let at = self.now + extra + latency;
+        self.schedule(at, size, NetEvent::Message { from, to, msg });
+    }
+}
+
+impl<M: Clone + WireSized> SimNetwork<M> {
     /// Broadcasts a message from `from` to every replica (including itself,
     /// which models the local loop-back delivery DAG protocols rely on).
     pub fn broadcast(&mut self, from: ReplicaId, msg: M) {
@@ -261,8 +300,11 @@ impl<M: Clone> SimNetwork<M> {
 
     /// Broadcasts with an extra emission delay (see [`Self::send_delayed`]).
     pub fn broadcast_delayed(&mut self, from: ReplicaId, msg: M, extra: SimTime) {
+        // The payload is measured once; every per-recipient clone has the
+        // same wire size.
+        let size = msg.wire_size() as u64;
         for to in 0..self.n {
-            self.send_delayed(from, ReplicaId::new(to), msg.clone(), extra);
+            self.send_delayed_sized(from, ReplicaId::new(to), msg.clone(), extra, size);
         }
     }
 }
@@ -409,6 +451,22 @@ mod tests {
         assert_eq!(stats.delivered, 1);
         assert_eq!(stats.timers_fired, 1);
         assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.bytes_sent, 1);
+        assert_eq!(stats.bytes_delivered, 1);
+        assert_eq!(stats.bytes_dropped, 0);
         assert_eq!(net.pending(), 0);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_payload_sizes_through_faults() {
+        let mut net: Net = SimNetwork::new(2, LatencyModel::Instant, 1);
+        net.send(ReplicaId::new(0), ReplicaId::new(1), "four");
+        net.block_link(ReplicaId::new(0), ReplicaId::new(1));
+        net.send(ReplicaId::new(0), ReplicaId::new(1), "dropped!");
+        while net.next_event().is_some() {}
+        let stats = net.stats();
+        assert_eq!(stats.bytes_sent, 4 + 8);
+        assert_eq!(stats.bytes_delivered, 4);
+        assert_eq!(stats.bytes_dropped, 8);
     }
 }

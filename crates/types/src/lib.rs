@@ -26,6 +26,7 @@ pub mod time;
 pub mod transaction;
 pub mod value;
 pub mod vertex;
+pub mod wire;
 
 pub use block::{Block, BlockKind, BlockPayload, PreplayedTx};
 pub use committee::{Committee, ShardAssignment};
@@ -38,3 +39,4 @@ pub use time::SimTime;
 pub use transaction::{ContractCall, SmallBankProcedure, Transaction, TxClass};
 pub use value::Value;
 pub use vertex::{Certificate, Header, Vertex};
+pub use wire::{Wire, WireError, WireReader, WireWriter};

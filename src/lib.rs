@@ -27,7 +27,8 @@
 //! * [`tb_executor`] — the concurrent executor and the OCC / 2PL / serial
 //!   baselines,
 //! * [`tb_dag`] — the Tusk-style DAG substrate,
-//! * [`tb_network`] — the discrete-event network simulator,
+//! * [`tb_network`] — the transport abstraction, the discrete-event
+//!   network simulator and the real TCP transport,
 //! * [`tb_workload`] — the [`Workload`](prelude::Workload) trait plus the
 //!   SmallBank, contract and hot-key KV generators,
 //! * [`tb_contracts`] — the contract runtime (SmallBank + interpreter),
@@ -52,8 +53,8 @@ pub use tb_core::{
     assert_honest_agreement, check_honest_agreement, ByzantineBehavior, CampaignProfile,
     CampaignScenario, ClusterConfig, ClusterSimulation, CommitOutput, CommitPipeline, Destination,
     ExecutionMode, Invariant, InvariantContext, LatencyHistogram, Message, Outbound,
-    PostCommitExecution, Replica, RoundCommitSample, RunReport, ScenarioBuilder, ScenarioResult,
-    ShardProposer,
+    PostCommitExecution, RealNetPlan, Replica, RoundCommitSample, RunReport, ScenarioBuilder,
+    ScenarioError, ScenarioResult, ShardProposer, TransportKind,
 };
 
 /// The curated single-import surface for writing scenarios.
@@ -72,7 +73,7 @@ pub mod prelude {
     pub use tb_core::metrics::{LatencyHistogram, RoundCommitSample, RunReport};
     pub use tb_core::proposer::ByzantineBehavior;
     pub use tb_core::replica::{Destination, Outbound, Replica};
-    pub use tb_core::scenario::ScenarioBuilder;
+    pub use tb_core::scenario::{RealNetPlan, ScenarioBuilder, ScenarioError, TransportKind};
     pub use tb_core::Message;
 
     pub use tb_workload::{
@@ -89,7 +90,7 @@ pub mod prelude {
         execute_call, MapState, ProgramBuilder, TrackingState, SMALLBANK_DEFAULT_BALANCE,
     };
 
-    pub use tb_network::{FaultAction, FaultPlan};
+    pub use tb_network::{FaultAction, FaultPlan, TcpPeer, TcpTransport, Transport};
     pub use tb_storage::{KvRead, KvWrite, MemStore};
 
     pub use tb_types::{
