@@ -125,5 +125,20 @@ fn main() {
             },
         );
     }
+    println!(
+        "\n{:<12} {:>8} {:>10} {:>12} {:>8} {:>18}",
+        "workload", "workers", "effective", "tps", "reexec", "digest"
+    );
+    for row in &report.executor_scaling {
+        println!(
+            "{:<12} {:>8} {:>10} {:>12.0} {:>8} {:>18}",
+            row.workload,
+            row.workers,
+            row.effective_workers,
+            row.throughput_tps,
+            row.reexecutions,
+            row.commit_digest,
+        );
+    }
     println!("\nwrote {out_path} (schema v{})", report.schema_version);
 }

@@ -16,6 +16,7 @@ use serde::Serialize;
 use std::time::{Duration, SystemTime};
 use tb_core::campaign::{default_campaign, run_campaign, CampaignProfile, ScenarioResult};
 use tb_core::{ExecutionMode, ScenarioBuilder};
+use tb_executor::{effective_workers, BatchExecutor, ConcurrentExecutor};
 use tb_launcher::{run_real_net_scenario, LaunchOptions};
 use tb_storage::MemStore;
 use tb_types::{CeConfig, SimTime};
@@ -35,7 +36,12 @@ use tb_workload::{
 /// processes over localhost TCP (`tb-launcher`), with message/byte traffic
 /// and digest-agreement verdicts; sim cluster rows gain `msgs_sent` /
 /// `bytes_sent` so the two transports report comparable traffic.
-pub const BENCH_REPORT_SCHEMA_VERSION: u32 = 5;
+/// v6: the report carries an `executor_scaling` table — a concurrent-executor
+/// worker sweep (1→2→4→8, contended + uncontended) whose per-workload
+/// commit-digest equality is the machine-checked proof that multi-worker
+/// preplay serializes deterministically ([`BenchReport::validate`] rejects a
+/// report whose digests diverge).
+pub const BENCH_REPORT_SCHEMA_VERSION: u32 = 6;
 
 /// Regression ceiling on `validate_share` for every non-Tusk cluster
 /// scenario: validation must never again become the wall the way the PR 2–4
@@ -234,6 +240,45 @@ pub struct RealNetBench {
     pub sim_digest_match: bool,
 }
 
+/// Configured worker counts of the schema-v6 `executor_scaling` sweep.
+pub const EXECUTOR_SCALING_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// One cell of the schema-v6 `executor_scaling` sweep: the Thunderbolt
+/// concurrent executor run batch-by-batch over an identical seeded
+/// transaction stream at one configured worker count.
+///
+/// The table exists for one invariant: per workload, the `commit_digest`
+/// column must be constant across the whole worker sweep. The digest folds
+/// the serialized order, every transaction id, and every (sorted) read and
+/// write set of every committed batch, so equality means `executors(N)`
+/// committed byte-for-byte the same serialization as `executors(1)` — the
+/// deterministic-finalize guarantee of `docs/PIPELINE.md`, machine-checked
+/// on every report. Throughput and re-execution columns contextualize the
+/// cost: speedup is only expected where `effective_workers` actually grew.
+#[derive(Clone, Debug, Serialize)]
+pub struct ExecutorScalingBench {
+    /// Workload label (`contended` / `uncontended`).
+    pub workload: String,
+    /// Configured preplay worker count (the sweep axis).
+    pub workers: usize,
+    /// Workers the run could actually use after clamping to available
+    /// cores. Context for the throughput column on small machines; the
+    /// digest column must be independent of it.
+    pub effective_workers: usize,
+    /// Total committed transactions.
+    pub txs: usize,
+    /// Throughput in transactions per second of wall-clock time.
+    pub throughput_tps: f64,
+    /// Speculative re-executions: concurrency-control aborts plus finalize
+    /// repairs.
+    pub reexecutions: u64,
+    /// FNV-1a digest (16 hex digits) folded over every batch's
+    /// `BatchResult::commit_digest` — order, ids, sorted read/write sets,
+    /// return values. Equal per workload across the sweep, or the report
+    /// fails validation.
+    pub commit_digest: String,
+}
+
 /// The full machine-readable report.
 #[derive(Clone, Debug, Serialize)]
 pub struct BenchReport {
@@ -256,6 +301,9 @@ pub struct BenchReport {
     /// subprocess spawning (library tests); the `bench_report` binary always
     /// fills it.
     pub real_net: Vec<RealNetBench>,
+    /// Concurrent-executor worker sweep (schema v6): per-workload digest
+    /// equality across [`EXECUTOR_SCALING_WORKERS`] is the determinism proof.
+    pub executor_scaling: Vec<ExecutorScalingBench>,
     /// Chaos campaign results: one pass/fail + metrics row per adversarial
     /// scenario (schema v3, see `docs/CHAOS.md`).
     pub campaigns: Vec<ScenarioResult>,
@@ -299,8 +347,56 @@ impl BenchReport {
             }
         }
         self.validate_real_net()?;
+        self.validate_executor_scaling()?;
         self.validate_stage_occupancy()?;
         validate_campaigns(&self.campaigns)
+    }
+
+    /// Schema v6 determinism gate. Unlike the share ceilings this check is
+    /// exact and unconditional — the serialized order is a pure function of
+    /// the batch, so a digest that moves with the worker count is a
+    /// correctness bug (a hole in the deterministic finalize pass), never
+    /// measurement noise, and must fail the report on every machine
+    /// including single-core CI runners where `effective_workers` is 1.
+    fn validate_executor_scaling(&self) -> Result<(), String> {
+        for workload in ["contended", "uncontended"] {
+            let rows: Vec<&ExecutorScalingBench> = self
+                .executor_scaling
+                .iter()
+                .filter(|r| r.workload == workload)
+                .collect();
+            if rows.len() != EXECUTOR_SCALING_WORKERS.len() {
+                return Err(format!(
+                    "executor_scaling: {} rows for the {workload} workload, want one per \
+                     worker count in {EXECUTOR_SCALING_WORKERS:?}",
+                    rows.len()
+                ));
+            }
+            let reference = rows[0];
+            for row in &rows {
+                if row.txs == 0 {
+                    return Err(format!(
+                        "executor_scaling {workload}/workers={}: committed nothing",
+                        row.workers
+                    ));
+                }
+                if row.throughput_tps <= 0.0 {
+                    return Err(format!(
+                        "executor_scaling {workload}/workers={}: non-positive throughput",
+                        row.workers
+                    ));
+                }
+                if row.commit_digest != reference.commit_digest {
+                    return Err(format!(
+                        "executor_scaling {workload}: workers={} committed digest {} but \
+                         workers={} committed {} — multi-worker preplay diverged from the \
+                         deterministic serialization order",
+                        row.workers, row.commit_digest, reference.workers, reference.commit_digest
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Schema v5 real-net gates. An empty table is allowed (subprocess-free
@@ -603,6 +699,89 @@ fn run_engine_bench(engine: Engine, scale: Scale) -> EngineBench {
     }
 }
 
+/// Runs one `executor_scaling` cell: the concurrent executor over a fixed
+/// seeded SmallBank stream at one configured worker count, folding every
+/// batch's commit digest into the row's digest.
+fn run_executor_scaling_cell(
+    label: &str,
+    workers: usize,
+    accounts: u64,
+    theta: f64,
+    scale: Scale,
+) -> ExecutorScalingBench {
+    // FNV-1a over the per-batch digests, so the row digest covers the whole
+    // stream's serialization (same constants as `BatchResult::commit_digest`).
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+    let batch = scale.system_batch.max(32);
+    let mut ce_config = CeConfig::new(workers, batch);
+    ce_config.synthetic_op_cost_ns = scale.op_cost_ns;
+    let runner = ConcurrentExecutor::new(ce_config);
+
+    let store = MemStore::new();
+    // Reconstructed per cell so every worker count consumes the identical
+    // seeded transaction stream — the precondition for digest comparison.
+    let mut workload = SmallBankWorkload::new(SmallBankConfig {
+        accounts,
+        theta,
+        pr_read: 0.5,
+        n_shards: 1,
+        seed: BENCH_SEED,
+        ..SmallBankConfig::default()
+    });
+    store.load(workload.initial_state());
+
+    let mut committed = 0usize;
+    let mut reexecutions = 0u64;
+    let mut elapsed = 0.0f64;
+    let mut digest = FNV_OFFSET;
+    let mut remaining = scale.executor_txs;
+    while remaining > 0 {
+        let size = batch.min(remaining);
+        let txs = workload.batch(size, SimTime::ZERO);
+        let result = runner.execute_batch(&txs, &store);
+        committed += result.committed();
+        reexecutions += result.reexecutions;
+        elapsed += result.elapsed.as_secs_f64();
+        digest = (digest ^ result.commit_digest()).wrapping_mul(FNV_PRIME);
+        remaining -= size;
+    }
+    ExecutorScalingBench {
+        workload: label.to_string(),
+        workers,
+        effective_workers: effective_workers(workers),
+        txs: committed,
+        throughput_tps: if elapsed > 0.0 {
+            committed as f64 / elapsed
+        } else {
+            0.0
+        },
+        reexecutions,
+        commit_digest: format!("{digest:016x}"),
+    }
+}
+
+/// Generates the schema-v6 `executor_scaling` table: the worker sweep over
+/// a contended (hot Zipfian, few accounts) and an uncontended (flat, many
+/// accounts) SmallBank stream. Per-workload digest equality across the
+/// sweep is enforced by [`BenchReport::validate`].
+pub fn generate_executor_scaling(scale: Scale) -> Vec<ExecutorScalingBench> {
+    let workloads: [(&str, u64, f64); 2] = [
+        ("contended", 64, 0.95),
+        ("uncontended", scale.executor_accounts.max(1024), 0.5),
+    ];
+    let mut rows = Vec::new();
+    for (label, accounts, theta) in workloads {
+        for workers in EXECUTOR_SCALING_WORKERS {
+            rows.push(run_executor_scaling_cell(
+                label, workers, accounts, theta, scale,
+            ));
+        }
+    }
+    rows
+}
+
 /// Runs one cluster scenario — the figure-scale system parameters with the
 /// given workload plugged in through the `Workload` trait — and flattens its
 /// run report into a row.
@@ -732,6 +911,7 @@ pub fn generate_with(scale: Scale, profile: CampaignProfile) -> BenchReport {
         engines,
         clusters,
         real_net: Vec::new(),
+        executor_scaling: generate_executor_scaling(scale),
         campaigns: run_campaign(default_campaign(profile)),
     }
 }
@@ -747,14 +927,15 @@ pub fn generate_with(scale: Scale, profile: CampaignProfile) -> BenchReport {
 /// `real_net` empty and the `bench_report` binary appends these rows itself.
 pub fn generate_real_net(scale: Scale) -> Result<Vec<RealNetBench>, String> {
     Ok(vec![
-        // Digest-gated: lockstep + single preplay executor + fully
-        // single-shard makes the commit order a pure function of the client
-        // stream, so the TCP run must match an in-process sim twin exactly.
+        // Digest-gated: lockstep + fully single-shard makes the commit order
+        // a pure function of the client stream — preplay is deterministic at
+        // any worker count (the CE's finalize pass, `docs/PIPELINE.md`) — so
+        // the TCP run must match an in-process sim twin exactly.
         run_real_net_bench("real-net-smallbank-lan-n4", 4, 0.0, true, scale)?,
-        // 20% cross-shard with the scale's executor pool: preplay
-        // serialization order is timing-dependent here, so only cross-node
-        // agreement is checked (every process must still commit the same
-        // order as its peers).
+        // 20% cross-shard: the order-first path interleaves cross-shard
+        // commits by real message timing, so only cross-node agreement is
+        // checked (every process must still commit the same order as its
+        // peers).
         run_real_net_bench("real-net-smallbank-cross20-n4", 4, 0.2, false, scale)?,
     ])
 }
@@ -768,13 +949,10 @@ fn run_real_net_bench(
     digest_gate: bool,
     scale: Scale,
 ) -> Result<RealNetBench, String> {
-    // The sim-digest gate needs deterministic preplay serialization, which
-    // only a single executor worker guarantees (see `docs/NET.md`).
-    let executors = if digest_gate {
-        1
-    } else {
-        scale.system_executors.max(2)
-    };
+    // Preplay serialization is deterministic at any worker count (the CE's
+    // finalize pass, docs/PIPELINE.md), so digest-gated scenarios run
+    // multi-worker like everything else.
+    let executors = scale.system_executors.max(2);
     let plan = ScenarioBuilder::new(replicas)
         .smallbank(SmallBankConfig {
             accounts: scale.system_accounts,
@@ -855,10 +1033,32 @@ mod tests {
         assert!(workloads.contains(&"contract"));
         assert!(workloads.contains(&"kv-hot"));
         assert_eq!(report.schema_version, BENCH_REPORT_SCHEMA_VERSION);
-        assert_eq!(report.schema_version, 5);
+        assert_eq!(report.schema_version, 6);
         // The subprocess-free generation path leaves real_net empty (the
         // bench_report binary fills it) and still validates.
         assert!(report.real_net.is_empty());
+
+        // Schema v6: the executor-scaling sweep covers every worker count on
+        // both workloads and the digests agree per workload — on this very
+        // machine, whatever its core count (a single-core runner exercises
+        // the clamp path; a multi-core runner exercises real interleaving).
+        assert_eq!(
+            report.executor_scaling.len(),
+            2 * EXECUTOR_SCALING_WORKERS.len()
+        );
+        for workload in ["contended", "uncontended"] {
+            let digests: Vec<&str> = report
+                .executor_scaling
+                .iter()
+                .filter(|r| r.workload == workload)
+                .map(|r| r.commit_digest.as_str())
+                .collect();
+            assert_eq!(digests.len(), EXECUTOR_SCALING_WORKERS.len());
+            assert!(
+                digests.iter().all(|d| *d == digests[0]),
+                "{workload} digests diverged across the worker sweep: {digests:?}"
+            );
+        }
 
         // Schema v4 stage-occupancy gates hold on the generated report: no
         // pipelined scenario has a dead applier. (The share ceilings are
@@ -896,6 +1096,8 @@ mod tests {
         assert!(json.contains("\"pipeline\""));
         assert!(json.contains("\"campaigns\""));
         assert!(json.contains("byz-tamper-writes"));
+        assert!(json.contains("\"executor_scaling\""));
+        assert!(json.contains("\"uncontended\""));
 
         // Validation rejects structurally broken variants of the same report.
         let mut broken = report.clone();
@@ -936,6 +1138,17 @@ mod tests {
             broken.validate().is_ok(),
             "share ceilings must stay disarmed below the measured-time floor"
         );
+        // Schema v6 determinism gate: a digest that moves with the worker
+        // count rejects the report, as does a truncated sweep.
+        let mut broken = report.clone();
+        broken.executor_scaling[1].commit_digest = "deadbeefdeadbeef".to_string();
+        assert!(
+            broken.validate().is_err(),
+            "a worker-dependent digest must reject"
+        );
+        let mut broken = report.clone();
+        broken.executor_scaling.truncate(3);
+        assert!(broken.validate().is_err(), "a partial sweep must reject");
         let mut broken = report.clone();
         for row in broken.clusters.iter_mut() {
             row.pipeline.coalesced_batches = 0;

@@ -180,11 +180,16 @@ fn all_commit_paths_agree_on_the_fnv1a_commit_digest() {
 // ---------------------------------------------------------------------------
 
 fn cluster_config(pipelined: bool) -> ClusterConfig {
+    cluster_config_with(pipelined, 4)
+}
+
+fn cluster_config_with(pipelined: bool, executors: usize) -> ClusterConfig {
     let mut system = SystemConfig::with_replicas(4);
-    // One preplay executor: the concurrent executor's emitted order is
-    // scheduling-dependent with more than one worker, and this test isolates
-    // the *commit path* as the only possible source of divergence.
-    system.ce = CeConfig::new(1, 64).without_synthetic_cost();
+    // Multi-worker preplay is safe here: the concurrent executor finalizes
+    // its serialized order deterministically (batch order), so the emitted
+    // blocks are independent of worker count and scheduling — pinned by
+    // `executor_count_does_not_change_the_committed_sequence` below.
+    system.ce = CeConfig::new(executors, 64).without_synthetic_cost();
     system.validators = 2;
     system.pipelined_commit = pipelined;
     ClusterConfig {
@@ -240,7 +245,10 @@ fn run_synchronously(replicas: &mut [Replica], rounds_budget: usize) {
 }
 
 fn run_cluster(pipelined: bool) -> Vec<Replica> {
-    let cfg = cluster_config(pipelined);
+    run_cluster_with(cluster_config(pipelined))
+}
+
+fn run_cluster_with(cfg: ClusterConfig) -> Vec<Replica> {
     let mut workload = SmallBankWorkload::new(SmallBankConfig {
         accounts: 64,
         n_shards: 4,
@@ -303,4 +311,39 @@ fn pipelined_and_staged_clusters_commit_identically() {
         pipelined[0].metrics().round_commits.len(),
         staged[0].metrics().round_commits.len()
     );
+}
+
+#[test]
+fn executor_count_does_not_change_the_committed_sequence() {
+    // The pipelined commit path runs digest-gated in production with
+    // multi-worker preplay; the deterministic finalize pass must make the
+    // committed sequence a pure function of the scenario, whatever the
+    // executor count.
+    let reference = run_cluster_with(cluster_config_with(true, 1));
+    assert!(reference
+        .iter()
+        .all(|replica| replica.metrics().committed_txs > 0));
+    for executors in [2usize, 4, 8] {
+        let run = run_cluster_with(cluster_config_with(true, executors));
+        for (a, b) in run.iter().zip(reference.iter()) {
+            assert_eq!(
+                a.metrics().committed_txs,
+                b.metrics().committed_txs,
+                "replica {} committed different amounts with {executors} executors",
+                a.id()
+            );
+            assert_eq!(
+                a.metrics().commit_order_digest,
+                b.metrics().commit_order_digest,
+                "replica {} committed a different order with {executors} executors",
+                a.id()
+            );
+            let diff = a.store().snapshot().diff_values(&b.store().snapshot());
+            assert!(
+                diff.is_empty(),
+                "replica {} state diverged on {diff:?} with {executors} executors",
+                a.id()
+            );
+        }
+    }
 }

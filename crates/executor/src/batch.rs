@@ -2,7 +2,28 @@
 
 use std::time::Duration;
 use tb_storage::{KvWrite, MemStore, WriteBatch};
-use tb_types::{PreplayedTx, TxId, Value};
+use tb_types::{AccessRecord, PreplayedTx, TxId, Value};
+
+/// FNV-1a offset basis; the same seed tb-core replicas use for the
+/// commit-order digest, so the two digest families are directly comparable
+/// in reports.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+fn fold(digest: u64, v: u64) -> u64 {
+    (digest ^ v).wrapping_mul(FNV_PRIME)
+}
+
+fn fold_value(digest: u64, value: &Value) -> u64 {
+    match value {
+        Value::None => fold(digest, 0),
+        Value::Int(i) => fold(fold(digest, 1), *i as u64),
+        Value::Bytes(bytes) => bytes
+            .iter()
+            .fold(fold(digest, 2), |d, byte| fold(d, u64::from(*byte))),
+    }
+}
 
 /// Which engine produced a result (used in benchmark reports).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -113,6 +134,35 @@ impl BatchResult {
             .map(|p| &p.outcome.return_value)
     }
 
+    /// Folds the serialized execution order and every transaction's id,
+    /// read set, write set and result into a 64-bit FNV-1a digest. Records
+    /// are canonicalized (walked in serialized order, access sets sorted by
+    /// key), so two runs of the same batch produce the same digest iff they
+    /// agree on the order and on every declared outcome — digest equality
+    /// across worker counts is the machine-checked determinism proof behind
+    /// the `executor_scaling` bench table (docs/PERF.md).
+    pub fn commit_digest(&self) -> u64 {
+        let mut sorted: Vec<&PreplayedTx> = self.preplayed.iter().collect();
+        sorted.sort_by_key(|p| p.order);
+        let mut digest = FNV_OFFSET;
+        for p in sorted {
+            digest = fold(digest, u64::from(p.order));
+            digest = fold(digest, p.tx.id.as_inner());
+            for set in [&p.outcome.read_set, &p.outcome.write_set] {
+                let mut records: Vec<&AccessRecord> = set.iter().collect();
+                records.sort_by_key(|r| r.key);
+                digest = fold(digest, records.len() as u64);
+                for rec in records {
+                    digest = fold(digest, rec.key.encode());
+                    digest = fold_value(digest, &rec.value);
+                }
+            }
+            digest = fold_value(digest, &p.outcome.return_value);
+            digest = fold(digest, u64::from(p.outcome.logically_aborted));
+        }
+        digest
+    }
+
     /// True if the serialized order indices form a permutation of
     /// `0..committed()` (a structural sanity check used by tests).
     pub fn order_is_permutation(&self) -> bool {
@@ -206,6 +256,37 @@ mod tests {
         assert!((r.avg_reexecutions() - 1.5).abs() < 1e-9);
         assert!(r.return_value(TxId::new(1)).is_some());
         assert!(r.return_value(TxId::new(9)).is_none());
+    }
+
+    #[test]
+    fn commit_digest_is_sensitive_to_order_values_and_ids() {
+        let base = BatchResult {
+            preplayed: vec![
+                preplayed(1, 0, &[(Key::scratch(1), 10)]),
+                preplayed(2, 1, &[(Key::scratch(2), 20)]),
+            ],
+            ..BatchResult::default()
+        };
+        let same = base.clone();
+        assert_eq!(base.commit_digest(), same.commit_digest());
+
+        // Vec order does not matter, serialized order does.
+        let mut shuffled = base.clone();
+        shuffled.preplayed.swap(0, 1);
+        assert_eq!(base.commit_digest(), shuffled.commit_digest());
+
+        let mut reordered = base.clone();
+        reordered.preplayed[0].order = 1;
+        reordered.preplayed[1].order = 0;
+        assert_ne!(base.commit_digest(), reordered.commit_digest());
+
+        let mut tampered = base.clone();
+        tampered.preplayed[0].outcome.write_set[0].value = Value::int(11);
+        assert_ne!(base.commit_digest(), tampered.commit_digest());
+
+        let mut renamed = base.clone();
+        renamed.preplayed[0].tx.id = TxId::new(9);
+        assert_ne!(base.commit_digest(), renamed.commit_digest());
     }
 
     #[test]

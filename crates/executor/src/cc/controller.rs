@@ -351,6 +351,36 @@ impl<'a> ConcurrencyController<'a> {
         self.graph.lock().committed_order().to_vec()
     }
 
+    /// The speculative outcome of every transaction, indexed by batch
+    /// position, plus the total and per-transaction latencies (first
+    /// execution attempt to speculative commit). A `None` entry means the
+    /// transaction never committed speculatively; the deterministic finalize
+    /// pass in [`ConcurrentExecutor::preplay`](crate::ce::ConcurrentExecutor::preplay)
+    /// re-executes such entries serially.
+    pub fn collect_speculative(
+        &self,
+        n: usize,
+    ) -> (Vec<Option<tb_types::ExecOutcome>>, Duration, Vec<Duration>) {
+        let graph = self.graph.lock();
+        let mut outcomes = vec![None; n];
+        let mut total_latency = Duration::ZERO;
+        let mut latencies = Vec::with_capacity(n);
+        for (idx, node) in graph.iter() {
+            if node.status != TxnStatus::Committed {
+                continue;
+            }
+            if let (Some(started), Some(committed)) = (node.started_at, node.committed_at) {
+                let latency = committed.duration_since(started);
+                total_latency += latency;
+                latencies.push(latency);
+            }
+            if idx < n {
+                outcomes[idx] = Some(node.outcome());
+            }
+        }
+        (outcomes, total_latency, latencies)
+    }
+
     /// Assembles the preplay output for the batch: every committed
     /// transaction with its outcome, ordered by commit index, plus the sum
     /// and the individual per-transaction latencies.

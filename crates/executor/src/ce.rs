@@ -1,23 +1,45 @@
 //! The Concurrent Executor (`CE`, paper Section 7).
 //!
-//! A pool of executor workers pulls transactions from a shared queue and
-//! runs their contract code against the [`ConcurrencyController`]. Reads may
-//! observe uncommitted values of other in-flight transactions; conflicts the
-//! controller cannot reschedule abort the transaction, which is put back on
-//! the queue and re-executed. The output of a batch is the block payload of
-//! the EOV path: every transaction's read/write set, result and its position
-//! in the serialized execution order.
+//! Executor workers from the shared [`pool`] pull transactions
+//! off a common queue and run their contract code against the
+//! [`ConcurrencyController`]. Reads may observe uncommitted values of other
+//! in-flight transactions; conflicts the controller cannot reschedule abort
+//! the transaction, which is put back on the queue and re-executed. The
+//! output of a batch is the block payload of the EOV path: every
+//! transaction's read/write set, result and its position in the serialized
+//! execution order.
+//!
+//! # Deterministic finalize
+//!
+//! The parallel phase alone cannot produce a reproducible serialization:
+//! the dependency graph's conflict edges follow *arrival* order (e.g. a
+//! write-write conflict is oriented towards whichever worker wrote first),
+//! so its commit sequence depends on OS scheduling. Preplay therefore adds
+//! a sequential **finalize pass** that re-orients every conflict edge from
+//! lower to higher batch index, making batch order the unique tie-broken
+//! topological order of the conflict graph. Concretely, the pass walks the
+//! batch in index order keeping an overlay of finalized writes, accepts a
+//! speculative outcome iff each of its recorded reads matches the
+//! overlay-over-storage view (identical read values imply an identical
+//! execution trace), and serially re-executes the transaction against that
+//! view otherwise (counted as a re-execution). The emitted
+//! [`BatchResult`] is thus a pure function of `(txs, base)` — independent
+//! of worker count and scheduling — which is what lets digest-gated
+//! deployments run `executors(N)` instead of pinning `executors(1)`
+//! (`BatchResult::commit_digest`, docs/PIPELINE.md).
 
 use crate::batch::{BatchResult, ExecutorKind};
 use crate::cc::controller::{ConcurrencyController, FinishStatus};
 use crate::cc::graph::TxIdx;
-use crate::traits::{synthetic_work, BatchExecutor};
+use crate::pool::{self, Backoff};
+use crate::traits::{effective_workers, synthetic_work, BatchExecutor};
 use crossbeam::queue::SegQueue;
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::time::Instant;
-use tb_contracts::{execute_call, ExecError, StateAccess};
+use tb_contracts::{execute_call, ExecError, StateAccess, TrackingState};
 use tb_storage::{KvRead, MemStore};
-use tb_types::{CeConfig, Key, Transaction, Value};
+use tb_types::{CeConfig, ExecOutcome, Key, PreplayedTx, Transaction, Value};
 
 /// The Thunderbolt concurrent executor.
 #[derive(Clone, Debug)]
@@ -57,37 +79,38 @@ impl ConcurrentExecutor {
         // to succeed because no concurrent transaction can abort them then.
         let deferred: Mutex<Vec<TxIdx>> = Mutex::new(Vec::new());
 
-        let workers = self.config.executors.max(1);
+        let workers = effective_workers(self.config.executors).min(txs.len());
         let op_cost = self.config.synthetic_op_cost_ns;
         let max_retries = self.config.max_retries as u64;
 
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    match queue.pop() {
-                        Some(idx) => {
-                            if controller.retries(idx) > max_retries {
-                                deferred.lock().push(idx);
-                                continue;
-                            }
-                            run_one(&controller, txs, idx, op_cost);
+        pool::global().run(workers, &|_slot| {
+            let mut backoff = Backoff::new();
+            loop {
+                match queue.pop() {
+                    Some(idx) => {
+                        backoff.reset();
+                        if controller.retries(idx) > max_retries {
+                            deferred.lock().push(idx);
+                            continue;
                         }
-                        None => {
-                            let aborted = controller.take_aborted();
-                            if !aborted.is_empty() {
-                                for idx in aborted {
-                                    queue.push(idx);
-                                }
-                                continue;
-                            }
-                            let done = controller.committed_count() + deferred.lock().len();
-                            if done >= txs.len() && queue.is_empty() {
-                                break;
-                            }
-                            std::thread::yield_now();
-                        }
+                        run_one(&controller, txs, idx, op_cost);
                     }
-                });
+                    None => {
+                        let aborted = controller.take_aborted();
+                        if !aborted.is_empty() {
+                            backoff.reset();
+                            for idx in aborted {
+                                queue.push(idx);
+                            }
+                            continue;
+                        }
+                        let done = controller.committed_count() + deferred.lock().len();
+                        if done >= txs.len() && queue.is_empty() {
+                            break;
+                        }
+                        backoff.wait();
+                    }
+                }
             }
         });
 
@@ -119,19 +142,133 @@ impl ConcurrentExecutor {
         }
         debug_assert!(controller.all_committed());
 
-        let (preplayed, total_latency, latencies) = controller.collect_results(txs);
+        let (speculative, total_latency, latencies) = controller.collect_speculative(txs.len());
+        let (preplayed, repairs) = finalize_batch(txs, speculative, base, op_cost);
         let logical_rejections = preplayed
             .iter()
             .filter(|p| p.outcome.logically_aborted)
             .count() as u64;
         BatchResult {
             preplayed,
-            reexecutions: controller.total_aborts(),
+            reexecutions: controller.total_aborts() + repairs,
             logical_rejections,
             elapsed: started.elapsed(),
             total_latency,
             latencies,
         }
+    }
+}
+
+/// The sequential finalize pass: re-serializes the batch in **batch order**,
+/// which is the canonical topological order of the conflict graph once every
+/// conflict edge is oriented from lower to higher batch index (batch-index
+/// tie-break). For each transaction the pass accepts the speculative outcome
+/// iff every recorded read matches the view `overlay ∪ base` (the writes of
+/// transactions finalized before it over committed storage); matching read
+/// values imply the speculative execution trace is exactly the serial one,
+/// so write set and result carry over. A mismatch — or a transaction that
+/// never committed speculatively — is re-executed serially against that view
+/// and counted as a repair.
+///
+/// A single-worker speculative phase *is* a serial batch-order run, so it
+/// validates without repairs; `executors(N)` converges to the same fixed
+/// point, which is the `executors(N) ≡ executors(1)` determinism proof
+/// pinned by `tests/proptest_invariants.rs`.
+fn finalize_batch(
+    txs: &[Transaction],
+    speculative: Vec<Option<ExecOutcome>>,
+    base: &(dyn KvRead + Sync),
+    op_cost: u64,
+) -> (Vec<PreplayedTx>, u64) {
+    let mut overlay: HashMap<Key, Value> = HashMap::new();
+    let mut preplayed = Vec::with_capacity(txs.len());
+    let mut repairs = 0u64;
+    for (idx, (tx, outcome)) in txs.iter().zip(speculative).enumerate() {
+        let outcome = match outcome {
+            Some(outcome) if reads_match_serial_view(&outcome, &overlay, base) => outcome,
+            _ => {
+                repairs += 1;
+                reexecute_serially(tx, &overlay, base, op_cost)
+            }
+        };
+        for rec in &outcome.write_set {
+            overlay.insert(rec.key, rec.value.clone());
+        }
+        preplayed.push(PreplayedTx::new(tx.clone(), outcome, idx as u32));
+    }
+    (preplayed, repairs)
+}
+
+/// True if every read the speculative attempt recorded observes exactly the
+/// value the serial batch-order view (`overlay` over `base`) holds. Repeated
+/// reads and reads-after-own-write are served from the transaction's own
+/// records during preplay, so checking the recorded first-reads is
+/// sufficient: identical read values make the whole execution trace — and
+/// with it the write set and result — identical by induction.
+fn reads_match_serial_view(
+    outcome: &ExecOutcome,
+    overlay: &HashMap<Key, Value>,
+    base: &(dyn KvRead + Sync),
+) -> bool {
+    outcome
+        .read_set
+        .iter()
+        .all(|rec| match overlay.get(&rec.key) {
+            Some(value) => *value == rec.value,
+            None => base.get(&rec.key) == rec.value,
+        })
+}
+
+/// Serially re-executes `tx` against the finalized prefix view, charging the
+/// same synthetic per-operation cost as the parallel phase. The read/write
+/// sets are sorted by key to match the convention of speculative outcomes.
+fn reexecute_serially(
+    tx: &Transaction,
+    overlay: &HashMap<Key, Value>,
+    base: &(dyn KvRead + Sync),
+    op_cost: u64,
+) -> ExecOutcome {
+    let session = FinalizeSession {
+        base,
+        overlay,
+        local: HashMap::new(),
+        op_cost,
+    };
+    let mut tracking = TrackingState::new(session);
+    let result = execute_call(&tx.call, &mut tracking)
+        .expect("serial re-execution over a plain overlay never conflicts");
+    let (mut outcome, _) = tracking.finish();
+    outcome.read_set.sort_by_key(|r| r.key);
+    outcome.write_set.sort_by_key(|r| r.key);
+    outcome.return_value = result.return_value;
+    outcome.logically_aborted = result.logically_aborted;
+    outcome
+}
+
+/// Read view of a finalize repair: own writes over the finalized prefix over
+/// committed storage.
+struct FinalizeSession<'a> {
+    base: &'a (dyn KvRead + Sync),
+    overlay: &'a HashMap<Key, Value>,
+    local: HashMap<Key, Value>,
+    op_cost: u64,
+}
+
+impl StateAccess for FinalizeSession<'_> {
+    fn read(&mut self, key: Key) -> Result<Value, ExecError> {
+        synthetic_work(self.op_cost);
+        Ok(self
+            .local
+            .get(&key)
+            .or_else(|| self.overlay.get(&key))
+            .cloned()
+            .unwrap_or_else(|| self.base.get(&key)))
+    }
+
+    fn write(&mut self, key: Key, value: Value) -> Result<(), ExecError> {
+        synthetic_work(self.op_cost);
+        self.local.insert(key, value);
+        Ok(())
     }
 }
 
@@ -390,6 +527,76 @@ mod tests {
             store.get(&Key::checking(0)),
             Value::int(SMALLBANK_DEFAULT_BALANCE - 20)
         );
+    }
+
+    #[test]
+    fn preplay_is_deterministic_across_worker_counts() {
+        // Heavy contention so the speculative phase really does produce
+        // schedule-dependent graphs — the finalize pass must erase that.
+        let cfg = SmallBankConfig {
+            accounts: 8,
+            theta: 0.95,
+            pr_read: 0.2,
+            n_shards: 1,
+            ..SmallBankConfig::default()
+        };
+        let mut workload = SmallBankWorkload::new(cfg);
+        let txs = workload.batch(96, SimTime::ZERO);
+        let store = funded_store(8);
+        let reference = ce(1).preplay(&txs, &store);
+        // The serialized order is batch order by construction.
+        for (idx, p) in reference.preplayed.iter().enumerate() {
+            assert_eq!(p.order as usize, idx);
+            assert_eq!(p.tx.id, txs[idx].id);
+        }
+        for workers in [2, 3, 8] {
+            let result = ce(workers).preplay(&txs, &store);
+            assert_eq!(
+                result.commit_digest(),
+                reference.commit_digest(),
+                "{workers} workers diverged from the single-worker run"
+            );
+            assert_eq!(result.committed(), reference.committed());
+        }
+    }
+
+    #[test]
+    fn finalize_repairs_schedule_skewed_speculative_outcomes() {
+        // On a single-core machine the parallel phase cannot interleave, so
+        // this test feeds the finalize pass speculative outcomes from a
+        // *different* schedule directly: the ones a completion-order run
+        // that executed t1 before t0 would have produced.
+        let store = funded_store(4);
+        let t0 = send_payment(0, 0, 1, 10);
+        let t1 = send_payment(1, 0, 2, 5);
+        let txs = vec![t0.clone(), t1.clone()];
+        let reference = ce(1).preplay(&txs, &store);
+
+        let swapped = ce(1).preplay(&[t1, t0], &store);
+        let speculative = vec![
+            Some(swapped.preplayed[1].outcome.clone()), // t0, but executed second
+            Some(swapped.preplayed[0].outcome.clone()), // t1, but executed first
+        ];
+        let (preplayed, repairs) = finalize_batch(&txs, speculative, &store, 0);
+        assert_eq!(repairs, 2, "both outcomes observed stale reads");
+        let repaired = BatchResult {
+            preplayed,
+            ..BatchResult::default()
+        };
+        assert_eq!(
+            repaired.commit_digest(),
+            reference.commit_digest(),
+            "finalize must repair a schedule-skewed run back to batch order"
+        );
+
+        // Transactions that never committed speculatively are repaired too.
+        let (preplayed, repairs) = finalize_batch(&txs, vec![None, None], &store, 0);
+        assert_eq!(repairs, 2);
+        let rebuilt = BatchResult {
+            preplayed,
+            ..BatchResult::default()
+        };
+        assert_eq!(rebuilt.commit_digest(), reference.commit_digest());
     }
 
     #[test]

@@ -21,7 +21,8 @@
 //!    worker's progress, so the per-transaction checks are embarrassingly
 //!    parallel. The block is chunked across at most
 //!    [`effective_workers`](crate::traits::effective_workers)`(validators)`
-//!    scoped threads; each worker returns the verdicts of its chunk.
+//!    slots of the shared long-lived [`pool`](crate::pool) (no per-block
+//!    thread spawn); each slot produces the verdicts of its chunk.
 //! 2. *Finalize.* The verdict vectors are joined back **in chunk order** on
 //!    the calling thread and folded into the [`ValidationReport`].
 //!
@@ -29,6 +30,7 @@
 
 use crate::traits::synthetic_work;
 use std::collections::HashMap;
+use std::sync::Mutex;
 use tb_contracts::{execute_call, ExecError, StateAccess, TrackingState};
 use tb_storage::KvRead;
 use tb_types::{Key, PreplayedTx, TxId, Value};
@@ -155,11 +157,11 @@ impl StateAccess for ValidationSession<'_> {
 ///
 /// # Parallelism contract
 ///
-/// The fan-out uses at most `effective_workers(config.validators)` scoped
-/// worker threads (clamped to the block size); with one effective worker —
-/// a single-core machine, or `validators: 1` — no thread is spawned and the
-/// whole pass runs inline on the caller, so single-core CI measures exactly
-/// the sequential cost.
+/// The fan-out occupies at most `effective_workers(config.validators)`
+/// slots of the shared worker pool (clamped to the block size); with one
+/// effective worker — a single-core machine, or `validators: 1` — no pool
+/// job is submitted and the whole pass runs inline on the caller, so
+/// single-core CI measures exactly the sequential cost.
 ///
 /// # Determinism
 ///
@@ -176,8 +178,8 @@ impl StateAccess for ValidationSession<'_> {
 /// interpreter failures are verdicts (`Err` from [`execute_call`] marks the
 /// transaction as a mismatch), not panics. If a worker does panic (a bug in
 /// the contract interpreter, or a panicking [`KvRead`] implementation), the
-/// panic is propagated to the caller when the scope joins; it is never
-/// swallowed.
+/// pool re-throws the panic on the calling thread once the job drains; it
+/// is never swallowed.
 pub fn validate_block(
     preplayed: &[PreplayedTx],
     base: &(dyn KvRead + Sync),
@@ -210,25 +212,21 @@ fn parallel_verdicts(
             .collect();
     }
     let chunk_size = preplayed.len().div_ceil(workers);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = preplayed
-            .chunks(chunk_size)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|p| revalidate_one(p, base, timeline, op_cost))
-                        .collect::<Vec<bool>>()
-                })
-            })
+    let chunks: Vec<&[PreplayedTx]> = preplayed.chunks(chunk_size).collect();
+    let verdicts: Vec<Mutex<Vec<bool>>> = chunks.iter().map(|_| Mutex::new(Vec::new())).collect();
+    crate::pool::global().run(chunks.len(), &|slot| {
+        let chunk_verdicts: Vec<bool> = chunks[slot]
+            .iter()
+            .map(|p| revalidate_one(p, base, timeline, op_cost))
             .collect();
-        // Joining in spawn order keeps the verdict vector in block order no
-        // matter which worker finishes first.
-        handles
-            .into_iter()
-            .flat_map(|handle| handle.join().expect("validation worker panicked"))
-            .collect()
-    })
+        *verdicts[slot].lock().unwrap() = chunk_verdicts;
+    });
+    // Flattening in chunk order keeps the verdict vector in block order no
+    // matter which pool worker ran which chunk.
+    verdicts
+        .into_iter()
+        .flat_map(|m| m.into_inner().unwrap_or_default())
+        .collect()
 }
 
 /// Stage 2 — the cheap sequential finalize: folds the ordered verdicts into

@@ -37,7 +37,7 @@ fn main() {
             cross_shard_fraction: 0.0,
             ..SmallBankConfig::default()
         })
-        .executors(1, 64)
+        .executors(4, 64)
         .validators(2)
         .rounds(rounds)
         .lockstep()

@@ -212,11 +212,8 @@ pub fn run_real_net_scenario(
         // The twin runs the configuration *as the nodes rebuilt it* — not
         // `plan.config` directly — so a knob NodeSpec cannot carry can never
         // silently diverge between the two paths.
-        let mut sim = ClusterSimulation::new(
-            specs[0].cluster_config(),
-            plan.smallbank,
-            FaultPlan::none(),
-        );
+        let mut sim =
+            ClusterSimulation::new(specs[0].cluster_config(), plan.smallbank, FaultPlan::none());
         let sim_run = sim.run();
         let matches = !sim_run.round_commits.is_empty()
             && !reports[0].round_commits.is_empty()

@@ -22,7 +22,7 @@ fn main() {
             cross_shard_fraction: 0.0,
             ..SmallBankConfig::default()
         })
-        .executors(1, 32)
+        .executors(4, 32)
         .validators(2)
         .rounds(8)
         .seed(7)

@@ -47,6 +47,34 @@ fn batch(accounts: u64, max_len: usize) -> impl Strategy<Value = Vec<Transaction
     })
 }
 
+/// Strategy producing raw KV operations over a small scratch-key pool.
+fn kv_op(keys: u64) -> impl Strategy<Value = Operation> {
+    prop_oneof![
+        (0..keys).prop_map(|k| Operation::read(Key::scratch(k))),
+        (0..keys, -100..100i64).prop_map(|(k, v)| Operation::write(Key::scratch(k), Value::int(v))),
+    ]
+}
+
+/// Strategy producing batches of raw KV transactions (`ContractCall::KvOps`),
+/// so the worker-invariance property is exercised off the SmallBank
+/// procedures too.
+fn kv_batch(keys: u64, max_len: usize) -> impl Strategy<Value = Vec<Transaction>> {
+    prop::collection::vec(prop::collection::vec(kv_op(keys), 1..6), 1..max_len).prop_map(|txs| {
+        txs.into_iter()
+            .enumerate()
+            .map(|(i, ops)| {
+                Transaction::new(
+                    TxId::new(i as u64),
+                    ClientId::new(0),
+                    ContractCall::KvOps(ops),
+                    1,
+                    SimTime::ZERO,
+                )
+            })
+            .collect()
+    })
+}
+
 fn funded_store(accounts: u64) -> MemStore {
     let store = MemStore::new();
     store.load(tb_workload::initial_smallbank_state(
@@ -165,5 +193,36 @@ proptest! {
         let sequential = validate_block(&result.preplayed, &store, &ValidationConfig::new(1));
         let parallel = validate_block(&result.preplayed, &store, &ValidationConfig::new(validators));
         prop_assert_eq!(sequential, parallel);
+    }
+
+    /// Multi-worker preplay is indistinguishable from single-worker preplay:
+    /// for arbitrary SmallBank and raw-KV batches and any worker count, the
+    /// serialized order, the (sorted) read and write sets, the return
+    /// values and the FNV-1a commit digest all match the `executors(1)`
+    /// reference — the deterministic-finalize guarantee (docs/PIPELINE.md)
+    /// as a property over random batches, not just the benched workloads.
+    #[test]
+    fn preplay_is_worker_count_invariant(
+        smallbank in batch(6, 48),
+        kv in kv_batch(8, 32),
+        workers in 2usize..=8,
+    ) {
+        for txs in [&smallbank, &kv] {
+            let store = funded_store(6);
+            let reference = ConcurrentExecutor::new(CeConfig::new(1, 128).without_synthetic_cost())
+                .preplay(txs, &store);
+            let multi = ConcurrentExecutor::new(CeConfig::new(workers, 128).without_synthetic_cost())
+                .preplay(txs, &store);
+            prop_assert_eq!(reference.committed(), multi.committed());
+            prop_assert_eq!(reference.commit_digest(), multi.commit_digest());
+            for (a, b) in reference.preplayed.iter().zip(multi.preplayed.iter()) {
+                prop_assert_eq!(a.tx.id, b.tx.id);
+                prop_assert_eq!(a.order, b.order);
+                prop_assert_eq!(&a.outcome.read_set, &b.outcome.read_set);
+                prop_assert_eq!(&a.outcome.write_set, &b.outcome.write_set);
+                prop_assert_eq!(&a.outcome.return_value, &b.outcome.return_value);
+                prop_assert_eq!(a.outcome.logically_aborted, b.outcome.logically_aborted);
+            }
+        }
     }
 }

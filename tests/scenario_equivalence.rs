@@ -28,11 +28,12 @@ fn base_workload_config() -> SmallBankConfig {
 }
 
 fn cluster_config() -> ClusterConfig {
-    // One preplay executor: the concurrent executor's emitted order is
-    // scheduling-dependent with more than one worker, and this test isolates
-    // the *workload path* as the only possible source of divergence.
+    // Multi-worker preplay is deterministic (the concurrent executor
+    // finalizes its serialized order as batch order regardless of worker
+    // count), so this test still isolates the *workload path* as the only
+    // possible source of divergence.
     ScenarioBuilder::new(REPLICAS)
-        .executors(1, 64)
+        .executors(4, 64)
         .seed(CLUSTER_SEED)
         .tune(|system| {
             system.ce = system.ce.without_synthetic_cost();
