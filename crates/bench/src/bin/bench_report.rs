@@ -52,7 +52,7 @@ fn main() {
     // three consecutive baselines before ROADMAP item 2 was fixed.
     for field in report.silent_zero_counters() {
         eprintln!(
-            "bench_report: WARNING: {field} rounds to zero across all cluster \
+            "bench_report: WARNING: {field} rounds to zero across all probed \
              scenarios — a stage or counter may be dead (see docs/PIPELINE.md)"
         );
     }
@@ -138,6 +138,29 @@ fn main() {
             row.throughput_tps,
             row.reexecutions,
             row.commit_digest,
+        );
+    }
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>8} {:>7} {:>7} {:>18} {:>9}",
+        "backend", "tps", "apply(s)", "apply%", "coal", "applies", "digest", "recovered"
+    );
+    for row in &report.storage {
+        println!(
+            "{:<10} {:>12.0} {:>12.6} {:>7.1}% {:>7} {:>7} {:>18} {:>9}",
+            row.backend,
+            row.throughput_tps,
+            row.apply_busy_s,
+            row.apply_share * 100.0,
+            row.coalesced_batches,
+            row.apply_calls,
+            row.commit_order_digest,
+            if !row.persistent {
+                "-"
+            } else if row.recovery_digest_match {
+                "yes"
+            } else {
+                "NO"
+            },
         );
     }
     println!("\nwrote {out_path} (schema v{})", report.schema_version);

@@ -18,8 +18,8 @@ use tb_core::campaign::{default_campaign, run_campaign, CampaignProfile, Scenari
 use tb_core::{ExecutionMode, ScenarioBuilder};
 use tb_executor::{effective_workers, BatchExecutor, ConcurrentExecutor};
 use tb_launcher::{run_real_net_scenario, LaunchOptions};
-use tb_storage::MemStore;
-use tb_types::{CeConfig, SimTime};
+use tb_storage::{MemStore, Store, TempDir, WalOptions, WalStore};
+use tb_types::{CeConfig, SimTime, StorageBackend, StorageConfig};
 use tb_workload::{
     ContractWorkloadConfig, KvWorkloadConfig, SmallBankConfig, SmallBankWorkload, Workload,
 };
@@ -41,7 +41,14 @@ use tb_workload::{
 /// commit-digest equality is the machine-checked proof that multi-worker
 /// preplay serializes deterministically ([`BenchReport::validate`] rejects a
 /// report whose digests diverge).
-pub const BENCH_REPORT_SCHEMA_VERSION: u32 = 6;
+/// v7: the report carries a `storage` table — the same seeded lockstep
+/// scenario run once per store backend (`mem`, `wal`). The WAL row's
+/// `apply_share` finally measures real storage work, its commit digest must
+/// equal the MemStore row's (backend choice cannot change commit semantics),
+/// and `recovery_digest_match` is a machine-checked crash-recovery verdict:
+/// replica 0's directory is reopened post-run and the durable commit marker
+/// must reproduce the run's FNV-1a commit-order digest.
+pub const BENCH_REPORT_SCHEMA_VERSION: u32 = 7;
 
 /// Regression ceiling on `validate_share` for every non-Tusk cluster
 /// scenario: validation must never again become the wall the way the PR 2–4
@@ -240,6 +247,53 @@ pub struct RealNetBench {
     pub sim_digest_match: bool,
 }
 
+/// One row of the schema-v7 `storage` table: a fixed seeded lockstep
+/// scenario run on one store backend.
+///
+/// The table exists for two machine-checked claims. **Equivalence**: the
+/// `commit_order_digest` column must be identical across backends — durable
+/// storage is a refinement of the in-memory semantics, never a behavioral
+/// change. **Recoverability**: for the persistent backend, replica 0's data
+/// directory is reopened through the real recovery path after the cluster is
+/// torn down, and the recovered durable commit marker must reproduce the
+/// run's digest (`recovery_digest_match`). The occupancy columns give
+/// `apply_share` a row where it measures genuine storage work (WAL framing,
+/// buffering, file writes) instead of a MemStore drain.
+#[derive(Clone, Debug, Serialize)]
+pub struct StorageBench {
+    /// Scenario name (stable across reports; compare by this key).
+    pub scenario: String,
+    /// Backend label (`mem` / `wal`).
+    pub backend: String,
+    /// Whether the backend claims durability ([`Store::persistent`]).
+    pub persistent: bool,
+    /// Total committed transactions on the observer replica.
+    pub committed_txs: u64,
+    /// Throughput in transactions per second of simulated time.
+    pub throughput_tps: f64,
+    /// Wall-clock seconds the storage-apply stage was busy.
+    pub apply_busy_s: f64,
+    /// Apply's share of total stage time (0..=1). Nonzero for the WAL
+    /// backend, or the report fails validation.
+    pub apply_share: f64,
+    /// Write batches the pipelined applier coalesced with at least one
+    /// other batch.
+    pub coalesced_batches: u64,
+    /// Storage apply calls the commit path performed.
+    pub apply_calls: u64,
+    /// The observer's FNV-1a commit-order digest (16 hex digits). Equal
+    /// across backends, or the report fails validation.
+    pub commit_order_digest: String,
+    /// Recovery replayed from an on-disk snapshot (persistent backend only;
+    /// `false` for `mem`).
+    pub recovery_snapshot_loaded: bool,
+    /// WAL records replayed by post-run recovery (persistent backend only).
+    pub recovery_replayed_records: u64,
+    /// The recovered durable commit marker reproduces
+    /// `commit_order_digest` (persistent backend only; `false` for `mem`).
+    pub recovery_digest_match: bool,
+}
+
 /// Configured worker counts of the schema-v6 `executor_scaling` sweep.
 pub const EXECUTOR_SCALING_WORKERS: [usize; 4] = [1, 2, 4, 8];
 
@@ -304,6 +358,10 @@ pub struct BenchReport {
     /// Concurrent-executor worker sweep (schema v6): per-workload digest
     /// equality across [`EXECUTOR_SCALING_WORKERS`] is the determinism proof.
     pub executor_scaling: Vec<ExecutorScalingBench>,
+    /// Store-backend comparison (schema v7): one row per backend over the
+    /// identical seeded scenario; digest equality and the WAL row's
+    /// crash-recovery verdict are enforced by [`BenchReport::validate`].
+    pub storage: Vec<StorageBench>,
     /// Chaos campaign results: one pass/fail + metrics row per adversarial
     /// scenario (schema v3, see `docs/CHAOS.md`).
     pub campaigns: Vec<ScenarioResult>,
@@ -349,7 +407,71 @@ impl BenchReport {
         self.validate_real_net()?;
         self.validate_executor_scaling()?;
         self.validate_stage_occupancy()?;
+        self.validate_storage()?;
         validate_campaigns(&self.campaigns)
+    }
+
+    /// Schema v7 storage gates: the table must cover both backends over the
+    /// identical scenario, the backends must commit the identical order
+    /// (digest equality — persistence is a refinement, not a behavior
+    /// change), and the WAL row must prove it did real, recoverable work:
+    /// live coalescing and apply counters, a strictly positive measured
+    /// apply stage, and a post-run recovery whose durable marker reproduces
+    /// the run's digest.
+    fn validate_storage(&self) -> Result<(), String> {
+        let find = |backend: &str| {
+            self.storage
+                .iter()
+                .find(|r| r.backend == backend)
+                .ok_or_else(|| format!("storage: missing row for the {backend} backend"))
+        };
+        let mem = find("mem")?;
+        let wal = find("wal")?;
+        for row in &self.storage {
+            if row.committed_txs == 0 {
+                return Err(format!("storage {} row committed nothing", row.backend));
+            }
+            if row.throughput_tps <= 0.0 {
+                return Err(format!(
+                    "non-positive throughput for the storage {} row",
+                    row.backend
+                ));
+            }
+        }
+        if wal.commit_order_digest != mem.commit_order_digest {
+            return Err(format!(
+                "storage: the wal backend committed digest {} but mem committed {} — the \
+                 backend changed commit semantics",
+                wal.commit_order_digest, mem.commit_order_digest
+            ));
+        }
+        if !wal.persistent {
+            return Err("storage: the wal row claims no durability".to_string());
+        }
+        if wal.coalesced_batches == 0 {
+            return Err("storage: the wal applier never coalesced batches".to_string());
+        }
+        if wal.apply_calls == 0 {
+            return Err("storage: the wal row recorded no apply calls".to_string());
+        }
+        if wal.apply_busy_s <= 0.0 || wal.apply_share <= 0.0 {
+            return Err(format!(
+                "storage: the wal apply stage measured nothing (busy {:.6}s, share {:.6}) — \
+                 a persistent backend must make apply_share real",
+                wal.apply_busy_s, wal.apply_share
+            ));
+        }
+        if !wal.recovery_snapshot_loaded && wal.recovery_replayed_records == 0 {
+            return Err("storage: post-run recovery found nothing on disk".to_string());
+        }
+        if !wal.recovery_digest_match {
+            return Err(
+                "storage: the recovered durable commit marker does not reproduce the run's \
+                 commit-order digest"
+                    .to_string(),
+            );
+        }
+        Ok(())
     }
 
     /// Schema v6 determinism gate. Unlike the share ceilings this check is
@@ -500,14 +622,27 @@ impl BenchReport {
             }),
             ("pipeline.apply_calls", |c| c.pipeline.apply_calls as f64),
         ];
-        probes
+        let mut dead: Vec<&'static str> = probes
             .iter()
             .filter(|(_, probe)| {
                 !self.clusters.is_empty()
                     && self.clusters.iter().all(|c| probe(c) < SILENT_ZERO_EPSILON)
             })
             .map(|(name, _)| *name)
-            .collect()
+            .collect();
+        // Schema v7 lifts the apply_share exemption where it no longer
+        // applies: once a persistent backend is in the report, apply is real
+        // I/O work and a share that rounds to zero on every persistent row
+        // means the measurement (or the backend) went dead.
+        let persistent: Vec<&StorageBench> = self.storage.iter().filter(|r| r.persistent).collect();
+        if !persistent.is_empty()
+            && persistent
+                .iter()
+                .all(|r| r.apply_share < SILENT_ZERO_EPSILON)
+        {
+            dead.push("storage.apply_share");
+        }
+        dead
     }
 
     /// Per-key throughput ratios `self / baseline` over the rows both
@@ -782,6 +917,98 @@ pub fn generate_executor_scaling(scale: Scale) -> Vec<ExecutorScalingBench> {
     rows
 }
 
+/// Runs one `storage` cell: the fixed seeded lockstep SmallBank scenario on
+/// one backend. Lockstep + fully-single-shard makes the commit order a pure
+/// function of the client stream (the same argument the real-net digest gate
+/// rests on), so backend-induced timing differences cannot move the digest —
+/// any inequality validation then finds is a semantic divergence.
+///
+/// For the WAL backend the cluster is torn down first (dropping every open
+/// store) and replica 0's directory is reopened through [`WalStore::open`] —
+/// the real recovery path — to produce the row's recovery columns.
+fn run_storage_cell(storage: StorageConfig, scale: Scale) -> StorageBench {
+    let backend = match storage.backend {
+        StorageBackend::Mem => "mem",
+        StorageBackend::Wal => "wal",
+    };
+    let options = WalOptions {
+        compact_wal_bytes: storage.compact_wal_bytes,
+        flush_buffered_writes: storage.flush_buffered_writes as usize,
+    };
+    let data_dir = storage.data_dir.clone();
+    let report = ScenarioBuilder::new(4)
+        .executors(scale.system_executors.max(2), scale.system_batch)
+        .validators(2)
+        .rounds(scale.system_rounds)
+        .seed(BENCH_SEED)
+        .lockstep()
+        // Storage rows measure the store, not synthetic compute: with the
+        // op cost off, apply (framing, buffering, file writes) is a real
+        // fraction of the pipeline instead of rounding error.
+        .tune(|system| system.ce = system.ce.without_synthetic_cost())
+        .workload(SmallBankConfig {
+            accounts: scale.system_accounts,
+            n_shards: 4,
+            cross_shard_fraction: 0.0,
+            seed: BENCH_SEED,
+            ..SmallBankConfig::default()
+        })
+        .storage(storage)
+        .run();
+    let (_, apply_share, _) = report.stage_occupancy();
+    let (snapshot_loaded, replayed, digest_match) = match backend {
+        "wal" => {
+            let dir = std::path::Path::new(&data_dir).join("replica-0");
+            let recovered = WalStore::open(&dir, options)
+                .unwrap_or_else(|err| panic!("reopen storage bench dir {}: {err}", dir.display()));
+            let info = recovered.recovery();
+            let digest = recovered
+                .last_commit()
+                .map(|m| format!("{:016x}", m.digest));
+            (
+                info.snapshot_loaded,
+                info.replayed_records,
+                digest.as_deref() == Some(report.commit_order_digest.as_str()),
+            )
+        }
+        _ => (false, 0, false),
+    };
+    StorageBench {
+        scenario: "storage-smallbank-lockstep-n4".to_string(),
+        backend: backend.to_string(),
+        persistent: backend == "wal",
+        committed_txs: report.committed_txs,
+        throughput_tps: report.throughput_tps(),
+        apply_busy_s: report.apply_busy_secs,
+        apply_share,
+        coalesced_batches: report.coalesced_batches,
+        apply_calls: report.apply_calls,
+        commit_order_digest: report.commit_order_digest,
+        recovery_snapshot_loaded: snapshot_loaded,
+        recovery_replayed_records: replayed,
+        recovery_digest_match: digest_match,
+    }
+}
+
+/// Generates the schema-v7 `storage` table: the identical seeded scenario on
+/// the in-memory backend and on the WAL backend (in a scoped temp directory
+/// that is removed when the rows are built).
+pub fn generate_storage(scale: Scale) -> Vec<StorageBench> {
+    let dir = TempDir::new("bench-storage").expect("scoped temp dir for the storage bench");
+    let wal = StorageConfig {
+        backend: StorageBackend::Wal,
+        data_dir: dir.path().display().to_string(),
+        // Small thresholds so flushing and snapshot compaction both run at
+        // every scale, smoke included.
+        compact_wal_bytes: 64 * 1024,
+        flush_buffered_writes: 64,
+    };
+    vec![
+        run_storage_cell(StorageConfig::mem(), scale),
+        run_storage_cell(wal, scale),
+    ]
+}
+
 /// Runs one cluster scenario — the figure-scale system parameters with the
 /// given workload plugged in through the `Workload` trait — and flattens its
 /// run report into a row.
@@ -912,6 +1139,7 @@ pub fn generate_with(scale: Scale, profile: CampaignProfile) -> BenchReport {
         clusters,
         real_net: Vec::new(),
         executor_scaling: generate_executor_scaling(scale),
+        storage: generate_storage(scale),
         campaigns: run_campaign(default_campaign(profile)),
     }
 }
@@ -1033,7 +1261,7 @@ mod tests {
         assert!(workloads.contains(&"contract"));
         assert!(workloads.contains(&"kv-hot"));
         assert_eq!(report.schema_version, BENCH_REPORT_SCHEMA_VERSION);
-        assert_eq!(report.schema_version, 6);
+        assert_eq!(report.schema_version, 7);
         // The subprocess-free generation path leaves real_net empty (the
         // bench_report binary fills it) and still validates.
         assert!(report.real_net.is_empty());
@@ -1059,6 +1287,26 @@ mod tests {
                 "{workload} digests diverged across the worker sweep: {digests:?}"
             );
         }
+
+        // Schema v7: both backends ran the identical scenario, committed the
+        // identical order, and the WAL row proves real recoverable work —
+        // live apply counters, a measured apply stage, and a post-run
+        // recovery that reproduced the run's digest.
+        assert_eq!(report.storage.len(), 2);
+        let mem = report.storage.iter().find(|r| r.backend == "mem").unwrap();
+        let wal = report.storage.iter().find(|r| r.backend == "wal").unwrap();
+        assert!(!mem.persistent);
+        assert!(wal.persistent);
+        assert_eq!(mem.commit_order_digest, wal.commit_order_digest);
+        assert!(wal.committed_txs > 0);
+        assert!(wal.coalesced_batches > 0, "wal applier never coalesced");
+        assert!(wal.apply_calls > 0);
+        assert!(wal.apply_busy_s > 0.0 && wal.apply_share > 0.0);
+        assert!(
+            wal.recovery_snapshot_loaded || wal.recovery_replayed_records > 0,
+            "recovery found nothing on disk"
+        );
+        assert!(wal.recovery_digest_match);
 
         // Schema v4 stage-occupancy gates hold on the generated report: no
         // pipelined scenario has a dead applier. (The share ceilings are
@@ -1098,6 +1346,8 @@ mod tests {
         assert!(json.contains("byz-tamper-writes"));
         assert!(json.contains("\"executor_scaling\""));
         assert!(json.contains("\"uncontended\""));
+        assert!(json.contains("\"storage\""));
+        assert!(json.contains("\"recovery_digest_match\""));
 
         // Validation rejects structurally broken variants of the same report.
         let mut broken = report.clone();
@@ -1149,6 +1399,54 @@ mod tests {
         let mut broken = report.clone();
         broken.executor_scaling.truncate(3);
         assert!(broken.validate().is_err(), "a partial sweep must reject");
+        // Schema v7 storage gates: a missing backend, a digest divergence, a
+        // failed recovery verdict and a dead apply stage all reject.
+        let mut broken = report.clone();
+        broken.storage.retain(|r| r.backend != "wal");
+        assert!(broken.validate().is_err(), "missing wal row must reject");
+        let mut broken = report.clone();
+        for row in broken.storage.iter_mut().filter(|r| r.backend == "wal") {
+            row.commit_order_digest = "deadbeefdeadbeef".to_string();
+        }
+        assert!(
+            broken.validate().is_err(),
+            "a backend-dependent digest must reject"
+        );
+        let mut broken = report.clone();
+        for row in broken.storage.iter_mut().filter(|r| r.backend == "wal") {
+            row.recovery_digest_match = false;
+        }
+        assert!(
+            broken.validate().is_err(),
+            "a failed recovery verdict must reject"
+        );
+        let mut broken = report.clone();
+        for row in broken.storage.iter_mut().filter(|r| r.backend == "wal") {
+            row.apply_busy_s = 0.0;
+            row.apply_share = 0.0;
+        }
+        assert!(
+            broken.validate().is_err(),
+            "a dead wal apply stage must reject"
+        );
+        // ... and a persistent backend whose apply_share rounds to zero is
+        // no longer exempt from the silent-zero probe.
+        let mut zeroed = report.clone();
+        for row in zeroed.storage.iter_mut() {
+            row.apply_share = 0.0;
+        }
+        assert!(
+            zeroed
+                .silent_zero_counters()
+                .contains(&"storage.apply_share"),
+            "persistent apply_share must be probed"
+        );
+        assert!(
+            !report
+                .silent_zero_counters()
+                .contains(&"storage.apply_share"),
+            "the live report's wal apply_share must not round to zero"
+        );
         let mut broken = report.clone();
         for row in broken.clusters.iter_mut() {
             row.pipeline.coalesced_batches = 0;

@@ -22,7 +22,7 @@ use tb_contracts::{execute_call, StateAccess, TrackingState};
 use tb_dag::CommittedSubDag;
 use tb_executor::effective_workers;
 use tb_executor::validation::{validate_block, ValidationConfig};
-use tb_storage::{KvRead, KvWrite, MemStore, Versioned, WriteBatch};
+use tb_storage::{KvRead, Store, Versioned, WriteBatch};
 use tb_types::{BlockKind, Key, PreplayedTx, ShardId, SimTime, Transaction, TxId, Value};
 
 /// How the pipeline executes transactions after consensus.
@@ -40,7 +40,7 @@ pub enum PostCommitExecution {
     /// pool re-executes block N+1 while earlier blocks' write batches sit in
     /// a bounded queue drained by a dedicated applier thread, which
     /// coalesces everything queued into one stripe-coalesced
-    /// [`MemStore::apply_many`] call per wake-up. Commit order, applied
+    /// [`Store::apply_batches`] call per wake-up. Commit order, applied
     /// state, the commit-order digest and all commit statistics except the
     /// stage timings, `coalesced_batches` and `apply_calls` are identical to
     /// [`Parallel`] (and to [`Serial`]); only the wall-clock overlap and the
@@ -89,13 +89,13 @@ pub struct CommitOutput {
     /// Wall-clock time the cross-shard execution stage was busy.
     pub stage_execute: Duration,
     /// Number of write batches the applier drained in one
-    /// [`MemStore::apply_many`] call together with at least one other batch
+    /// [`Store::apply_batches`] call together with at least one other batch
     /// (a measure of how often the pipeline actually coalesced). Always 0 on
     /// the staged and serial paths, which apply one batch at a time.
     pub coalesced_batches: u64,
     /// Number of storage apply calls the commit path performed: one
-    /// [`MemStore::apply_batch`] per valid block on the staged/serial paths,
-    /// one [`MemStore::apply_many`] drain per applier wake-up on the
+    /// [`Store::apply_batch`] per valid block on the staged/serial paths,
+    /// one [`Store::apply_batches`] drain per applier wake-up on the
     /// pipelined path. `apply_calls` strictly below the number of valid
     /// blocks is direct evidence that batches were coalesced.
     pub apply_calls: u64,
@@ -170,7 +170,7 @@ impl CommitPipeline {
     pub fn process(
         &self,
         sub_dag: &CommittedSubDag,
-        store: &MemStore,
+        store: &dyn Store,
         commit_time: SimTime,
     ) -> CommitOutput {
         let started = Instant::now();
@@ -236,7 +236,7 @@ impl CommitPipeline {
     fn commit_preplayed_staged(
         &self,
         blocks: &[&[PreplayedTx]],
-        store: &MemStore,
+        store: &dyn Store,
         commit_time: SimTime,
         output: &mut CommitOutput,
     ) {
@@ -263,7 +263,7 @@ impl CommitPipeline {
     /// The pipelined G1 path: the calling thread validates block N+1 while a
     /// dedicated applier thread drains validated write batches to storage,
     /// coalescing everything that queued up into one
-    /// [`MemStore::apply_many`] call per wake-up (see [`ApplyQueue`]).
+    /// [`Store::apply_batches`] call per wake-up (see [`ApplyQueue`]).
     ///
     /// Validation of block N+1 must observe block N's writes (consecutive
     /// blocks from the same shard proposer chain on each other), so the
@@ -278,12 +278,13 @@ impl CommitPipeline {
     /// # Panics
     ///
     /// If the applier thread panics (only possible through a panicking
-    /// [`MemStore`] — the queue logic itself never panics), the panic is
-    /// re-raised here when the scope joins.
+    /// store backend — the queue logic itself never panics, and a durable
+    /// backend panics when it loses its log), the panic is re-raised here
+    /// when the scope joins.
     fn commit_preplayed_pipelined(
         &self,
         blocks: &[&[PreplayedTx]],
-        store: &MemStore,
+        store: &dyn Store,
         commit_time: SimTime,
         output: &mut CommitOutput,
     ) {
@@ -339,7 +340,7 @@ impl CommitPipeline {
 
     /// Executes a single transaction directly against the store (the OE
     /// path: order first, execute after).
-    fn execute_one(tx: &Transaction, store: &MemStore, op_cost_ns: u64) {
+    fn execute_one(tx: &Transaction, store: &dyn Store, op_cost_ns: u64) {
         let mut session = StoreSession { store, op_cost_ns };
         let mut tracking = TrackingState::new(&mut session);
         let _ = execute_call(&tx.call, &mut tracking);
@@ -377,7 +378,7 @@ const APPLY_QUEUE_CAPACITY: usize = 8;
 /// Number of queued batches the applier waits for before draining. The old
 /// one-batch mpsc handoff woke the applier per batch; because a `MemStore`
 /// apply is far cheaper than validating the next block, the applier always
-/// kept up and [`MemStore::apply_many`] never saw more than one batch — the
+/// kept up and [`Store::apply_batches`] never saw more than one batch — the
 /// `coalesced_batches: 0` pathology pinned by
 /// `crates/core/tests/coalescing_regression.rs`. Waiting for a second batch
 /// (or queue close, whichever comes first) makes every drain a real
@@ -388,11 +389,11 @@ const COALESCE_TARGET: usize = 2;
 /// What the applier thread measured while draining its queue.
 #[derive(Default)]
 struct ApplierStats {
-    /// Wall-clock time spent inside [`MemStore::apply_many`].
+    /// Wall-clock time spent inside [`Store::apply_batches`].
     busy: Duration,
     /// Batches drained together with at least one other batch.
     coalesced: u64,
-    /// Number of [`MemStore::apply_many`] drains.
+    /// Number of [`Store::apply_batches`] drains.
     calls: u64,
 }
 
@@ -404,7 +405,7 @@ struct ApplierStats {
 /// block and blocks only when [`APPLY_QUEUE_CAPACITY`] batches are in
 /// flight. The applier sleeps until [`COALESCE_TARGET`] batches are queued
 /// (or the queue is closed), then drains *everything* queued into a single
-/// [`MemStore::apply_many`] call. Batches are drained in push order, so the
+/// [`Store::apply_batches`] call. Batches are drained in push order, so the
 /// per-key write order of [`ordered_write_batch`] is preserved end to end.
 struct ApplyQueue {
     state: Mutex<ApplyQueueState>,
@@ -455,7 +456,7 @@ impl ApplyQueue {
     /// The applier thread body: sleep until a drain is due, swap the whole
     /// queue out under the lock, apply it outside the lock, repeat until the
     /// queue is closed and empty.
-    fn drain_loop(&self, store: &MemStore) -> ApplierStats {
+    fn drain_loop(&self, store: &dyn Store) -> ApplierStats {
         let mut stats = ApplierStats::default();
         loop {
             let drained = {
@@ -471,7 +472,7 @@ impl ApplyQueue {
             };
             self.space.notify_all();
             let apply_started = Instant::now();
-            store.apply_many(drained.iter());
+            store.apply_batches(&drained);
             stats.busy += apply_started.elapsed();
             stats.calls += 1;
             if drained.len() > 1 {
@@ -486,7 +487,7 @@ impl ApplyQueue {
 /// whose batch is still in flight never reaches the store from the
 /// validation path (see [`CommitPipeline::commit_preplayed_pipelined`]).
 struct PendingApplyView<'a> {
-    store: &'a MemStore,
+    store: &'a dyn Store,
     overlay: &'a HashMap<Key, Versioned>,
 }
 
@@ -537,7 +538,7 @@ fn shard_disjoint_waves<'a>(txs: &[&'a Transaction]) -> Vec<Vec<&'a Transaction>
 
 /// Executes one wave of shard-disjoint transactions with up to `workers`
 /// threads.
-fn execute_wave(wave: &[&Transaction], store: &MemStore, workers: usize, op_cost_ns: u64) {
+fn execute_wave(wave: &[&Transaction], store: &dyn Store, workers: usize, op_cost_ns: u64) {
     let workers = effective_workers(workers);
     if wave.len() <= 1 || workers <= 1 {
         for tx in wave {
@@ -559,7 +560,7 @@ fn execute_wave(wave: &[&Transaction], store: &MemStore, workers: usize, op_cost
 
 /// Direct store access used for cross-shard (OE) execution.
 struct StoreSession<'a> {
-    store: &'a MemStore,
+    store: &'a dyn Store,
     op_cost_ns: u64,
 }
 
@@ -582,6 +583,7 @@ mod tests {
     use tb_contracts::SMALLBANK_DEFAULT_BALANCE;
     use tb_dag::DagBuilder;
     use tb_executor::ConcurrentExecutor;
+    use tb_storage::{KvWrite, MemStore};
     use tb_types::{
         BlockPayload, CeConfig, ClientId, Committee, ContractCall, DagId, Key, ReplicaId, Round,
         SmallBankProcedure,

@@ -28,7 +28,7 @@ use std::net::{IpAddr, Ipv4Addr, SocketAddr};
 use std::time::{Duration, Instant};
 use tb_network::{RecvError, TcpPeer, TcpTransport, Transport};
 use tb_types::wire::{Wire, WireError, WireReader, WireWriter};
-use tb_types::{CeConfig, ReplicaId, SimTime};
+use tb_types::{CeConfig, ReplicaId, SimTime, StorageBackend, StorageConfig};
 use tb_workload::{SmallBankConfig, SmallBankWorkload, Workload};
 
 /// How long a node keeps serving acks and vertices after reaching its own
@@ -79,6 +79,10 @@ pub struct NodeSpec {
     /// The SmallBank spec, shipped untransformed; the node applies the same
     /// `configure_for_cluster(replicas, seed)` retargeting as the sim.
     pub smallbank: SmallBankConfig,
+    /// Storage backend the node keeps its committed state in. A durable
+    /// backend writes under `storage.data_dir/replica-<node>`, so a node
+    /// restarted with the same spec recovers its pre-crash state.
+    pub storage: StorageConfig,
 }
 
 impl NodeSpec {
@@ -94,6 +98,7 @@ impl NodeSpec {
         ce.synthetic_op_cost_ns = self.op_cost_ns;
         config.system.ce = ce;
         config.system.validators = self.validators as usize;
+        config.system.storage = self.storage.clone();
         if !self.label.is_empty() {
             config.label = Some(self.label.clone());
         }
@@ -150,6 +155,13 @@ impl Wire for NodeSpec {
         w.put_i64(self.smallbank.max_amount);
         w.put_i64(self.smallbank.initial_balance);
         w.put_u64(self.smallbank.seed);
+        w.put_u8(match self.storage.backend {
+            StorageBackend::Mem => 0,
+            StorageBackend::Wal => 1,
+        });
+        self.storage.data_dir.encode(w);
+        w.put_u64(self.storage.compact_wal_bytes);
+        w.put_u64(self.storage.flush_buffered_writes);
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -195,6 +207,21 @@ impl Wire for NodeSpec {
                 max_amount: r.i64()?,
                 initial_balance: r.i64()?,
                 seed: r.u64()?,
+            },
+            storage: StorageConfig {
+                backend: match r.u8()? {
+                    0 => StorageBackend::Mem,
+                    1 => StorageBackend::Wal,
+                    tag => {
+                        return Err(WireError::InvalidTag {
+                            type_name: "StorageBackend",
+                            tag: u32::from(tag),
+                        })
+                    }
+                },
+                data_dir: String::decode(r)?,
+                compact_wal_bytes: r.u64()?,
+                flush_buffered_writes: r.u64()?,
             },
         })
     }
@@ -477,6 +504,7 @@ mod tests {
                 seed: 11,
                 ..SmallBankConfig::default()
             },
+            storage: StorageConfig::wal("/tmp/tb-node-test"),
         }
     }
 
@@ -492,6 +520,10 @@ mod tests {
         assert!(config.lockstep);
         assert_eq!(config.system.ce.batch_size, 32);
         assert_eq!(config.system.validators, 2);
+        assert_eq!(
+            config.system.storage,
+            StorageConfig::wal("/tmp/tb-node-test")
+        );
         assert_eq!(config.label.as_deref(), Some("real-net"));
         assert_eq!(spec.target_commits(), 4);
         assert_eq!(spec.peers()[2].id, ReplicaId::new(2));

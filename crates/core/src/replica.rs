@@ -24,11 +24,11 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 use tb_dag::{Committer, DagError, DagStore};
 use tb_executor::{BatchExecutor, ConcurrentExecutor, OccExecutor};
-use tb_storage::{KvRead, MemStore, Versioned};
+use tb_storage::{CommitMarker, KvRead, MemStore, Store, Versioned, WalOptions, WalStore};
 use tb_types::{
     Block, BlockKind, BlockPayload, Certificate, Committee, DagId, Digest, Hashable, Header, Key,
-    PreplayedTx, ReplicaId, Round, SeqNo, ShardAssignment, ShardId, SimTime, Transaction, Value,
-    Vertex,
+    PreplayedTx, ReplicaId, Round, SeqNo, ShardAssignment, ShardId, SimTime, StorageBackend,
+    StorageConfig, Transaction, Value, Vertex,
 };
 
 /// Where an outbound message should go.
@@ -146,7 +146,7 @@ pub struct Replica {
     ce: ConcurrentExecutor,
     occ: OccExecutor,
     pipeline: CommitPipeline,
-    store: MemStore,
+    store: Box<dyn Store>,
     proposer: ShardProposer,
 
     dag_id: DagId,
@@ -174,6 +174,27 @@ pub struct Replica {
 }
 
 impl Replica {
+    /// Opens the storage backend `config` selects for replica `id`. A
+    /// durable backend lives in its own per-replica directory and may carry
+    /// recovered state from a previous incarnation.
+    fn open_store(id: ReplicaId, storage: &StorageConfig) -> Box<dyn Store> {
+        match storage.backend {
+            StorageBackend::Mem => Box::new(MemStore::new()),
+            StorageBackend::Wal => {
+                let dir = std::path::PathBuf::from(&storage.data_dir)
+                    .join(format!("replica-{}", id.as_inner()));
+                let options = WalOptions {
+                    compact_wal_bytes: storage.compact_wal_bytes,
+                    flush_buffered_writes: storage.flush_buffered_writes as usize,
+                };
+                Box::new(
+                    WalStore::open(&dir, options)
+                        .unwrap_or_else(|err| panic!("open WAL store {}: {err}", dir.display())),
+                )
+            }
+        }
+    }
+
     /// Creates a replica with the initial shard assignment of DAG 0 and an
     /// empty store pre-loaded by the caller.
     pub fn new(id: ReplicaId, config: ClusterConfig) -> Self {
@@ -206,7 +227,7 @@ impl Replica {
             ce: ConcurrentExecutor::new(config.system.ce),
             occ: OccExecutor::new(config.system.ce),
             pipeline,
-            store: MemStore::new(),
+            store: Self::open_store(id, &config.system.storage),
             proposer: ShardProposer::new(shard, config.system.ce.batch_size),
             dag_id,
             assignment,
@@ -249,13 +270,22 @@ impl Replica {
     }
 
     /// The replica's local storage.
-    pub fn store(&self) -> &MemStore {
-        &self.store
+    pub fn store(&self) -> &dyn Store {
+        self.store.as_ref()
     }
 
-    /// Loads initial state into the replica's store (used before a run).
+    /// Loads initial state into the replica's store (used before a run). A
+    /// durable backend logs the entries too, so a replica that crashes
+    /// before its first commit still recovers its genesis state.
+    ///
+    /// A durable store that already recovered a committed prefix from a
+    /// previous incarnation is *past* genesis: re-loading the initial state
+    /// would roll committed values back, so the load is skipped.
     pub fn load_state(&mut self, entries: impl IntoIterator<Item = (Key, Value)>) {
-        self.store.load(entries);
+        if self.store.last_commit().is_some() {
+            return;
+        }
+        self.store.load_entries(&mut entries.into_iter());
     }
 
     /// Accumulated metrics.
@@ -578,7 +608,7 @@ impl Replica {
         let result = match self.mode {
             ExecutionMode::Thunderbolt => {
                 let base = OverlayRead {
-                    store: &self.store,
+                    store: self.store.as_ref(),
                     overlay: &overlay_map,
                 };
                 self.ce.preplay(singles, &base)
@@ -780,7 +810,7 @@ impl Replica {
         let mut out = Vec::new();
         let sub_dags = self.committer.try_commit(&self.dag);
         for sub_dag in sub_dags {
-            let output = self.pipeline.process(&sub_dag, &self.store, now);
+            let output = self.pipeline.process(&sub_dag, self.store.as_ref(), now);
             self.busy += output.busy;
             self.metrics.committed_txs += output.committed_count() as u64;
             self.metrics.single_shard_txs += output.single_shard_committed as u64;
@@ -806,6 +836,14 @@ impl Replica {
                 dag: self.dag_id.as_inner(),
                 round: sub_dag.leader_round,
                 committed_at: now,
+                digest: self.metrics.commit_order_digest,
+            });
+            // Commit boundary: a durable backend persists the marker and
+            // fsyncs everything before it, so recovery reproduces both the
+            // state and the digest the replica had reached here.
+            self.store.commit_marker(CommitMarker {
+                dag: self.dag_id.as_inner(),
+                round: sub_dag.leader_round.as_u64(),
                 digest: self.metrics.commit_order_digest,
             });
             // Drop overlay entries for this replica's own delivered blocks.
@@ -884,7 +922,7 @@ impl Replica {
 
 /// Committed storage plus the proposer's own uncommitted preplay writes.
 struct OverlayRead<'a> {
-    store: &'a MemStore,
+    store: &'a dyn Store,
     overlay: &'a HashMap<Key, Value>,
 }
 

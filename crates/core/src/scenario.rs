@@ -33,7 +33,7 @@ use crate::metrics::RunReport;
 use crate::proposer::ByzantineBehavior;
 use std::fmt;
 use tb_network::FaultPlan;
-use tb_types::{CeConfig, LatencyModel, ReconfigConfig, ReplicaId, SystemConfig};
+use tb_types::{CeConfig, LatencyModel, ReconfigConfig, ReplicaId, StorageConfig, SystemConfig};
 use tb_workload::{SmallBankConfig, Workload};
 
 /// Which transport a scenario targets.
@@ -262,6 +262,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Selects the storage backend every replica keeps its committed state
+    /// in: [`StorageConfig::mem`] (the default) or [`StorageConfig::wal`]
+    /// for a durable cluster whose replicas can be killed and recovered
+    /// from disk (see `docs/STORAGE.md`).
+    pub fn storage(mut self, storage: StorageConfig) -> Self {
+        self.config.system.storage = storage;
+        self
+    }
+
     /// Prefers skip blocks over converting single-shard transactions when
     /// preplay recovery triggers (rules P3/P4, Section 5.4).
     pub fn skip_blocks(mut self, enabled: bool) -> Self {
@@ -363,6 +372,7 @@ mod tests {
             .reconfig(ReconfigConfig::new(4, 10))
             .skip_blocks(true)
             .byzantine(ReplicaId::new(2), ByzantineBehavior::Equivocate)
+            .storage(StorageConfig::wal("/tmp/tb-scenario-test"))
             .tune(|system| system.pipelined_commit = false);
         let config = builder.config();
         assert_eq!(config.system.n_replicas, 7);
@@ -380,6 +390,10 @@ mod tests {
         assert_eq!(
             config.byzantine,
             Some((ReplicaId::new(2), ByzantineBehavior::Equivocate))
+        );
+        assert_eq!(
+            config.system.storage,
+            StorageConfig::wal("/tmp/tb-scenario-test")
         );
         assert_eq!(config.label(), "custom");
     }

@@ -127,6 +127,7 @@ pub fn node_specs(plan: &RealNetPlan, options: &LaunchOptions) -> io::Result<Vec
         label: plan.config.label.clone().unwrap_or_default(),
         run_deadline_millis: options.node_deadline.as_millis() as u64,
         smallbank: plan.smallbank,
+        storage: plan.config.system.storage.clone(),
     };
     Ok((0..n)
         .map(|i| NodeSpec {
@@ -288,6 +289,7 @@ mod tests {
         let plan = ScenarioBuilder::new(4)
             .lockstep()
             .rounds(8)
+            .storage(tb_types::StorageConfig::wal("/tmp/tb-launcher-test"))
             .build_real_net()
             .expect("default scenario is launchable");
         let specs = node_specs(&plan, &LaunchOptions::default()).expect("ports reserved");
@@ -296,6 +298,14 @@ mod tests {
         assert_eq!(specs[0].ports.len(), 4);
         assert!(specs[2].lockstep);
         assert_eq!(specs[2].node, 2);
+        assert_eq!(
+            specs[1].storage,
+            tb_types::StorageConfig::wal("/tmp/tb-launcher-test")
+        );
+        assert_eq!(
+            specs[1].cluster_config().system.storage,
+            tb_types::StorageConfig::wal("/tmp/tb-launcher-test")
+        );
         // Distinct reserved ports.
         let mut ports = specs[0].ports.clone();
         ports.sort_unstable();

@@ -1,11 +1,18 @@
-//! Versioned in-memory key-value store.
+//! Versioned key-value storage: in-memory stripes plus a durable
+//! WAL-backed backend.
 //!
-//! The paper stores account balances in LevelDB; this reproduction
-//! substitutes an in-memory, concurrently readable store (see DESIGN.md,
-//! "Substitutions"). The store keeps a *version counter per key*, which the
-//! OCC baseline relies on for validation, and supports atomic write batches
-//! and point-in-time snapshots, which the Thunderbolt commit path uses to
-//! apply validated preplay results.
+//! The paper stores account balances in LevelDB; this reproduction keeps a
+//! versioned store with two interchangeable backends behind the [`Store`]
+//! trait (see DESIGN.md, "Substitutions", and docs/STORAGE.md):
+//!
+//! * [`MemStore`] — striped, concurrently readable, volatile. The version
+//!   counter per key is what the OCC baseline validates against; atomic
+//!   write batches and point-in-time snapshots are what the Thunderbolt
+//!   commit path applies validated preplay results through.
+//! * [`WalStore`] — the same store fronted by a CRC-guarded write-ahead
+//!   log with B^ε-style batch buffering, snapshot compaction and crash
+//!   recovery ([`WalStore::open`] replays snapshot + WAL tail back to the
+//!   exact pre-crash state and commit digest).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -13,9 +20,15 @@
 pub mod batch;
 pub mod mem;
 pub mod snapshot;
+pub mod store;
+pub mod tempdir;
 pub mod traits;
+pub mod wal;
 
 pub use batch::WriteBatch;
 pub use mem::{MemStore, StoreStats};
 pub use snapshot::Snapshot;
+pub use store::{CommitMarker, Store};
+pub use tempdir::TempDir;
 pub use traits::{KvRead, KvWrite, Versioned};
+pub use wal::{RecoveryInfo, WalOptions, WalRecord, WalStore};

@@ -127,6 +127,25 @@ impl MemStore {
         }
     }
 
+    /// Restores entries with their exact version counters, bypassing the
+    /// version-bump and write-count bookkeeping of [`MemStore::put`].
+    ///
+    /// Only crash recovery should use this: a recovered store must report
+    /// the same per-key versions as the store that wrote the snapshot, not
+    /// versions restarted from 1. Pair with [`MemStore::set_total_writes`].
+    pub fn restore(&self, entries: impl IntoIterator<Item = (Key, Versioned)>) {
+        for (key, versioned) in entries {
+            let stripe = &self.stripes[self.stripe_of(&key)];
+            stripe.write().insert(key, versioned);
+        }
+    }
+
+    /// Overwrites the lifetime write counter. Only crash recovery should
+    /// use this, to carry [`StoreStats::total_writes`] across a restart.
+    pub fn set_total_writes(&self, total: u64) {
+        self.total_writes.store(total, Ordering::Relaxed);
+    }
+
     /// Returns aggregate statistics.
     pub fn stats(&self) -> StoreStats {
         let mut stats = StoreStats {
@@ -138,7 +157,9 @@ impl MemStore {
             for v in guard.values() {
                 if !v.value.is_none() {
                     stats.keys += 1;
-                    stats.int_sum += v.value.as_int();
+                    // Wrapping: conservation checks compare sums for
+                    // equality, and adversarial values must not panic.
+                    stats.int_sum = stats.int_sum.wrapping_add(v.value.as_int());
                 }
             }
         }

@@ -41,9 +41,13 @@ impl Snapshot {
         self.map.iter()
     }
 
-    /// Sum of all integer values, used by conservation checks.
+    /// Sum of all integer values, used by conservation checks. Wrapping,
+    /// like [`crate::StoreStats::int_sum`]: the checks compare sums for
+    /// equality, and adversarial values must not panic.
     pub fn int_sum(&self) -> i64 {
-        self.map.values().map(|v| v.value.as_int()).sum()
+        self.map
+            .values()
+            .fold(0i64, |sum, v| sum.wrapping_add(v.value.as_int()))
     }
 
     /// Returns the set of keys on which two snapshots disagree (ignoring

@@ -1,0 +1,67 @@
+//! A scoped temporary directory for tests and benches.
+//!
+//! Durable-store tests need real directories; this keeps them out of the
+//! repository (everything lives under the system temp dir) and cleans them
+//! up on drop, so no run can leave WAL or snapshot files behind.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide counter making concurrent temp dirs distinct.
+static NEXT_TEMP_DIR: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under [`std::env::temp_dir`] that is removed (best-effort,
+/// recursively) when dropped.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh directory named after `prefix`, the process id and a
+    /// process-wide counter — unique across the threads of one test binary
+    /// and across concurrently running binaries.
+    pub fn new(prefix: &str) -> io::Result<Self> {
+        let n = NEXT_TEMP_DIR.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("tb-{prefix}-{pid}-{n}", pid = std::process::id()));
+        std::fs::create_dir_all(&path)?;
+        Ok(TempDir { path })
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans_up() {
+        let keep;
+        {
+            let dir = TempDir::new("probe").unwrap();
+            keep = dir.path().to_path_buf();
+            assert!(keep.is_dir());
+            std::fs::write(keep.join("wal.log"), b"x").unwrap();
+        }
+        assert!(!keep.exists(), "dropped TempDir must remove its tree");
+    }
+
+    #[test]
+    fn two_dirs_never_collide() {
+        let a = TempDir::new("probe").unwrap();
+        let b = TempDir::new("probe").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

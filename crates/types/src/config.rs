@@ -150,6 +150,63 @@ impl LatencyModel {
     }
 }
 
+/// Which storage backend a replica keeps its committed state in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StorageBackend {
+    /// The striped in-memory store: volatile, nearly free, the default.
+    #[default]
+    Mem,
+    /// The durable WAL-backed store: every committed batch is logged to an
+    /// append-only, CRC-guarded write-ahead log (fsynced at commit
+    /// boundaries) and periodically compacted into on-disk snapshots, so a
+    /// crashed replica recovers its exact pre-crash state and commit
+    /// digest from disk. See `docs/STORAGE.md`.
+    Wal,
+}
+
+/// Storage backend selection and tuning.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StorageConfig {
+    /// The backend every replica of the cluster uses.
+    pub backend: StorageBackend,
+    /// Root directory for durable backends. Each replica stores its files
+    /// under `<data_dir>/replica-<id>`. Ignored by [`StorageBackend::Mem`].
+    pub data_dir: String,
+    /// Compact the WAL into a snapshot once it exceeds this many bytes
+    /// (checked at commit boundaries). Ignored by [`StorageBackend::Mem`].
+    pub compact_wal_bytes: u64,
+    /// Flush the write-buffer into the in-memory stripes once it holds this
+    /// many pending writes. Ignored by [`StorageBackend::Mem`].
+    pub flush_buffered_writes: u64,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            backend: StorageBackend::Mem,
+            data_dir: String::new(),
+            compact_wal_bytes: 4 * 1024 * 1024,
+            flush_buffered_writes: 1024,
+        }
+    }
+}
+
+impl StorageConfig {
+    /// The volatile in-memory backend (the default).
+    pub fn mem() -> Self {
+        StorageConfig::default()
+    }
+
+    /// The durable WAL backend rooted at `data_dir`.
+    pub fn wal(data_dir: impl Into<String>) -> Self {
+        StorageConfig {
+            backend: StorageBackend::Wal,
+            data_dir: data_dir.into(),
+            ..StorageConfig::default()
+        }
+    }
+}
+
 /// Top-level configuration of a multi-replica experiment.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -174,6 +231,8 @@ pub struct SystemConfig {
     pub leader_timeout: SimTime,
     /// Maximum number of rounds an experiment runs for.
     pub max_rounds: u64,
+    /// Storage backend every replica keeps its committed state in.
+    pub storage: StorageConfig,
 }
 
 impl Default for SystemConfig {
@@ -187,6 +246,7 @@ impl Default for SystemConfig {
             latency: LatencyModel::lan(),
             leader_timeout: SimTime::from_millis(50),
             max_rounds: 50,
+            storage: StorageConfig::default(),
         }
     }
 }
@@ -241,5 +301,16 @@ mod tests {
         let cfg = SystemConfig::with_replicas(16);
         assert_eq!(cfg.n_replicas, 16);
         assert_eq!(cfg.ce, CeConfig::default());
+        assert_eq!(cfg.storage, StorageConfig::mem());
+    }
+
+    #[test]
+    fn storage_config_constructors() {
+        assert_eq!(StorageConfig::mem().backend, StorageBackend::Mem);
+        let wal = StorageConfig::wal("/tmp/tb-data");
+        assert_eq!(wal.backend, StorageBackend::Wal);
+        assert_eq!(wal.data_dir, "/tmp/tb-data");
+        assert!(wal.compact_wal_bytes > 0);
+        assert!(wal.flush_buffered_writes > 0);
     }
 }

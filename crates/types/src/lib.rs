@@ -30,7 +30,9 @@ pub mod wire;
 
 pub use block::{Block, BlockKind, BlockPayload, PreplayedTx};
 pub use committee::{Committee, ShardAssignment};
-pub use config::{CeConfig, LatencyModel, ReconfigConfig, SystemConfig};
+pub use config::{
+    CeConfig, LatencyModel, ReconfigConfig, StorageBackend, StorageConfig, SystemConfig,
+};
 pub use digest::{Digest, Hashable, StructuralHasher};
 pub use ids::{ClientId, DagId, ReplicaId, Round, SeqNo, ShardId, TxId};
 pub use key::{Key, KeySpace};

@@ -32,7 +32,8 @@
 //! * [`tb_workload`] — the [`Workload`](prelude::Workload) trait plus the
 //!   SmallBank, contract and hot-key KV generators,
 //! * [`tb_contracts`] — the contract runtime (SmallBank + interpreter),
-//! * [`tb_storage`] — the versioned in-memory store,
+//! * [`tb_storage`] — the store backends: the versioned in-memory store and
+//!   the durable WAL + snapshot backend (see `docs/STORAGE.md`),
 //! * [`tb_types`] — shared types.
 
 #![forbid(unsafe_code)]
@@ -91,11 +92,13 @@ pub mod prelude {
     };
 
     pub use tb_network::{FaultAction, FaultPlan, TcpPeer, TcpTransport, Transport};
-    pub use tb_storage::{KvRead, KvWrite, MemStore};
+    pub use tb_storage::{
+        CommitMarker, KvRead, KvWrite, MemStore, Store, TempDir, WalOptions, WalStore,
+    };
 
     pub use tb_types::{
         CeConfig, ClientId, ContractCall, Key, KeySpace, LatencyModel, Operation, ReconfigConfig,
-        ReplicaId, ShardId, SimTime, SmallBankProcedure, SystemConfig, Transaction, TxClass, TxId,
-        Value,
+        ReplicaId, ShardId, SimTime, SmallBankProcedure, StorageBackend, StorageConfig,
+        SystemConfig, Transaction, TxClass, TxId, Value,
     };
 }
